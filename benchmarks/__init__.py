@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per reproduced paper table/figure."""

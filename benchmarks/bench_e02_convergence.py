@@ -1,0 +1,37 @@
+"""E2 — Theorem 1: better-response learning always converges.
+
+Paper artifact: Theorem 1 (Section 3). Expected: 100% convergence for
+every game size, power distribution and policy; steps grow mildly with
+the number of miners.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e02_convergence
+
+
+def test_e02_convergence_sweep(benchmark, show):
+    result = run_once(
+        benchmark,
+        e02_convergence.run,
+        miner_counts=(5, 10, 25, 50),
+        coin_counts=(2, 5),
+        runs_per_cell=5,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["convergence_rate"] == 1.0
+    assert result.metrics["total_runs"] >= 100
+
+
+def test_e02_convergence_pareto_powers(benchmark, show):
+    result = run_once(
+        benchmark,
+        e02_convergence.run,
+        miner_counts=(10, 25),
+        coin_counts=(3,),
+        runs_per_cell=5,
+        power_distribution="pareto",
+        seed=1,
+    )
+    show(result.table)
+    assert result.metrics["convergence_rate"] == 1.0

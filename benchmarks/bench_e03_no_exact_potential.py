@@ -1,0 +1,15 @@
+"""E3 — Proposition 1: the game admits no exact potential.
+
+Paper artifact: Proposition 1 (Section 3). Expected: the paper's 2×2
+cycle has defect exactly 2/3, and random games also yield witnesses.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e03_no_exact_potential
+
+
+def test_e03_no_exact_potential(benchmark, show):
+    result = run_once(benchmark, e03_no_exact_potential.run, random_games=15, seed=0)
+    show(result.table)
+    assert result.metrics["paper_defect_matches"], "cycle defect must be exactly 2/3"
+    assert result.metrics["random_witness_fraction"] > 0.5

@@ -1,0 +1,25 @@
+"""E4 — Theorem 1 mechanics: ordinal potential strictly increases.
+
+Paper artifact: Theorem 1 + Observations 1–2 (Section 3). Expected: on
+every audited better-response step, rank(list(s)) strictly increases
+and the observations hold — 100%, no exceptions.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e04_potential_monotonicity
+
+
+def test_e04_potential_audit(benchmark, show):
+    result = run_once(
+        benchmark,
+        e04_potential_monotonicity.run,
+        games=8,
+        miners=8,
+        coins=4,
+        starts_per_game=3,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["strict_increase_fraction"] == 1.0
+    assert result.metrics["observation_violations"] == 0
+    assert result.metrics["steps_audited"] > 100

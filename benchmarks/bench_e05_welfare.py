@@ -1,0 +1,18 @@
+"""E5 — Observation 3 / Claim 4: equilibria are globally optimal.
+
+Paper artifact: Observation 3 + Claim 4 (Section 4). Expected: under
+Assumption 1 every enumerated equilibrium attains welfare Σ F(c)
+(PoA = PoS = 1), and with >1 equilibrium, Claim 4's improving miner
+always exists.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e05_welfare
+
+
+def test_e05_welfare_optimality(benchmark, show):
+    result = run_once(benchmark, e05_welfare.run, games=12, miners=6, coins=2, seed=0)
+    show(result.table)
+    assert result.metrics["observation3_fraction"] == 1.0
+    assert result.metrics["claim4_fraction"] == 1.0
+    assert result.metrics["equilibria_audited"] > 10

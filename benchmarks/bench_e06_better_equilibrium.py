@@ -1,0 +1,20 @@
+"""E6 — Proposition 2: there is often a better equilibrium.
+
+Paper artifact: Proposition 2 (Section 4). Expected: in games
+satisfying A1+A2 with multiple equilibria, (nearly) every equilibrium
+admits a miner who is strictly better off in another equilibrium.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e06_better_equilibrium
+
+
+def test_e06_better_equilibrium(benchmark, show):
+    result = run_once(
+        benchmark, e06_better_equilibrium.run, games=15, miners=6, coins=2, seed=0
+    )
+    show(result.table)
+    # Proposition 2 says 100% under its assumptions; games violating A1
+    # are excluded from the denominator inside the experiment.
+    assert result.metrics["improvement_fraction"] == 1.0
+    assert result.metrics["mean_best_gain_ratio"] > 1.0

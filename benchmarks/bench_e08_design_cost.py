@@ -1,0 +1,20 @@
+"""E8 — manipulation economics: bounded cost, indefinite gain.
+
+Paper artifact: Section 5's motivation ("a manipulator ... can do it
+with a bounded cost"). Expected: every executed manipulation has a
+finite whale-fee cost and a finite break-even horizon, after which the
+manipulator's gain is pure profit.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e08_design_cost
+
+
+def test_e08_manipulation_roi(benchmark, show):
+    result = run_once(
+        benchmark, e08_design_cost.run, games=6, miners=6, coins=2, seed=0
+    )
+    show(result.table)
+    assert result.metrics["manipulations_executed"] >= 3
+    assert result.metrics["all_costs_finite"]
+    assert result.metrics["median_break_even_rounds"] > 0

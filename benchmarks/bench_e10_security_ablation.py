@@ -1,0 +1,32 @@
+"""E10 — discussion: dominance attacks + staged-vs-naive ablation.
+
+Paper artifact: Discussion (driving the system to a configuration where
+one miner dominates a coin) + the implicit justification of the staged
+mechanism. Expected: dominance attacks succeed whenever an equilibrium
+target exists; the staged mechanism's success rate (100%) strictly
+beats the naive single-shot designs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e10_security_ablation
+
+
+def test_e10_security_and_ablation(benchmark, show):
+    result = run_once(
+        benchmark,
+        e10_security_ablation.run,
+        games=8,
+        miners=6,
+        coins=2,
+        naive_trials_per_pair=3,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["staged_success_rate"] == 1.0
+    if result.metrics["dominance_targets_found"] > 0:
+        assert result.metrics["attack_success_rate"] == 1.0
+    # The ablation's point: naive designs are NOT reliable.
+    assert (
+        result.metrics["single_shot_success_rate"]
+        <= result.metrics["staged_success_rate"]
+    )

@@ -1,0 +1,27 @@
+"""E11 — extension: asymmetric (hardware-restricted) mining.
+
+Paper artifact: Discussion ("the asymmetric case where some coins can
+be mined only by a subset of the miners"). Expected: Theorem 1's
+convergence and the Appendix A construction survive the restriction —
+100% convergence, ordinal potential still strictly increasing,
+restricted greedy equilibria stable.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e11_asymmetric
+
+
+def test_e11_asymmetric_mining(benchmark, show):
+    result = run_once(
+        benchmark,
+        e11_asymmetric.run,
+        games=8,
+        miners=10,
+        coins=4,
+        starts_per_game=4,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["convergence_rate"] == 1.0
+    assert result.metrics["greedy_stable_rate"] == 1.0
+    assert result.metrics["potential_monotone"]

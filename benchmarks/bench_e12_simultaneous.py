@@ -1,0 +1,29 @@
+"""E12 — extension: simultaneous moves vs sequential (Theorem 1's scope).
+
+Paper artifact: the sequential-moves assumption in Section 2's learning
+model. Expected: the synchronous best-response dynamic cycles on most
+games/starts (so Theorem 1's sequentiality is load-bearing), while
+per-miner inertia restores convergence.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e12_simultaneous
+
+
+def test_e12_simultaneous_dynamics(benchmark, show):
+    result = run_once(
+        benchmark,
+        e12_simultaneous.run,
+        games=6,
+        miners=8,
+        coins=3,
+        starts=8,
+        inertias=(0.0, 0.3, 0.6),
+        seed=0,
+    )
+    show(result.table)
+    # Without inertia the synchronous dynamic must cycle often...
+    assert result.metrics["sync_cycle_rate"] > 0.5
+    # ...and inertia must strictly reduce cycling.
+    assert result.metrics["inertia_helps"]
+    assert result.metrics["inertial_cycle_rate"] < result.metrics["sync_cycle_rate"]

@@ -1,0 +1,26 @@
+"""E13 — extension: equilibrium basins and the manipulation planner.
+
+Paper artifact: the economic motivation of Section 5 (you cannot rely
+on learning to land in your favourite equilibrium). Expected: multiple
+equilibria are reached from random starts (nonzero basin entropy), and
+the planner finds profitable, finite-break-even manipulations.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e13_basins
+
+
+def test_e13_basins_and_planner(benchmark, show):
+    result = run_once(
+        benchmark,
+        e13_basins.run,
+        games=5,
+        miners=6,
+        coins=2,
+        samples=30,
+        horizon_rounds=20_000,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["plans_evaluated"] >= 3
+    assert result.metrics["worth_buying_fraction"] > 0.5

@@ -1,0 +1,25 @@
+"""E14 — extension: exact worst-case learning time.
+
+Paper artifact: Theorem 1, graph form — improvement graphs are DAGs
+whose sinks are the pure equilibria. Expected: 100% acyclicity, sinks
+agree with enumeration, and the exact longest path upper-bounds every
+empirical trajectory (often attained by the adversarial learner).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e14_exact_paths
+
+
+def test_e14_exact_worst_case(benchmark, show):
+    result = run_once(
+        benchmark,
+        e14_exact_paths.run,
+        games=6,
+        miners=5,
+        coins=2,
+        empirical_runs=25,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["all_acyclic"]
+    assert result.metrics["sinks_match_equilibria"]

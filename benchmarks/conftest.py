@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eXX_*.py`` module regenerates one paper table/figure: it
+runs the corresponding ``repro.experiments`` runner inside
+pytest-benchmark (one round — the experiments are deterministic given
+their seeds), prints the reproduced table, and asserts the headline
+metrics EXPERIMENTS.md records.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table through pytest's captured stdout at once."""
+
+    def _show(renderable) -> None:
+        with capsys.disabled():
+            print()
+            print(renderable.render())
+
+    return _show
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, iterations=1, rounds=1)

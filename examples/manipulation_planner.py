@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The manipulation planner: should this miner pay to move the market?
+
+Combines basin analysis (where does learning land on its own?) with the
+Section 5 mechanism (what does it cost to force a landing?) to produce
+an investment decision for a specific miner.
+
+Run: ``python examples/manipulation_planner.py``
+"""
+
+from repro.analysis import basin_profile
+from repro.core import enumerate_equilibria, random_game
+from repro.manipulation import plan_manipulation
+
+
+def main() -> None:
+    game = random_game(6, 2, seed=0, ensure_generic=True)
+    equilibria = enumerate_equilibria(game)
+    print(f"{game}\nequilibria: {len(equilibria)}")
+
+    profile = basin_profile(game, samples=60, seed=1)
+    current, frequency = profile.dominant()
+    print(
+        f"\nleft alone, learning lands on {current.as_dict()} "
+        f"{frequency:.0%} of the time (entropy {profile.entropy():.2f} bits)"
+    )
+
+    beneficiary = max(game.miners, key=lambda m: m.power)
+    print(f"\nplanning for {beneficiary.name} (power {float(beneficiary.power):.1f})")
+    print(f"  payoff at the likely equilibrium: "
+          f"{float(game.payoff(beneficiary, current)):.3f}")
+
+    report = plan_manipulation(
+        game, beneficiary, current, equilibria, basin=profile, seed=2
+    )
+    if report.luck_baseline is not None:
+        print(f"  do-nothing baseline (basin-weighted): "
+              f"{float(report.luck_baseline):.3f}")
+    if not report.plans:
+        print("  no equilibrium improves this miner — nothing to buy.")
+        return
+
+    print(f"\n{len(report.plans)} executable plan(s), fastest payback first:")
+    for rank, plan in enumerate(report.plans, start=1):
+        be = (f"{plan.break_even_rounds:.0f} rounds"
+              if plan.break_even_rounds is not None else "never")
+        print(
+            f"  #{rank}: gain {float(plan.gain_per_round):+.3f}/round, "
+            f"cost {float(plan.cost):.1f}, break-even {be}, "
+            f"{plan.mechanism_steps} induced moves"
+        )
+
+    horizon = 20_000
+    verdict = "BUY" if report.worth_buying(horizon) else "PASS"
+    print(f"\nverdict at a {horizon}-round horizon: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The PoW substrate under the game: blocks, difficulty, realized rewards.
+
+Demonstrates the substitution claim of DESIGN.md §4: the paper's payoff
+``u_p = m_p·F(c)/M_c`` is the long-run limit of the physical block
+lottery. We run the event-driven chain simulation with *static*
+assignments and compare each miner's realized fiat income with the game
+model's prediction, then switch on strategic re-evaluation and the 2017
+difficulty rules to watch migration happen block by block.
+
+Run: ``python examples/pow_substrate.py``
+"""
+
+import numpy as np
+
+from repro.chainsim import BitcoinRetarget, MiningSimulation, SimMiner, bch_2017_rule
+from repro.market import bitcoin_cash_spec, bitcoin_spec
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    miners = [SimMiner(f"m{i}", float(p)) for i, p in enumerate(rng.uniform(10, 60, 12))]
+    specs = [bitcoin_spec(), bitcoin_cash_spec()]
+
+    def flat_rate(t: float, coin: str) -> float:
+        return 6500.0 if coin == "BTC" else 620.0
+
+    # Part 1: static miners — realized vs expected income.
+    assignment = {m.name: ("BTC" if i % 3 else "BCH") for i, m in enumerate(miners)}
+    sim = MiningSimulation(specs, miners, flat_rate, reevaluation_rate_per_h=1e-9, seed=1)
+    horizon = 2000.0
+    result = sim.run(horizon, initial_assignment=assignment, sample_resolution_h=100.0)
+
+    print("static assignment, 2000 simulated hours:")
+    print(f"  blocks: BTC={result.blocks_found('BTC')}, BCH={result.blocks_found('BCH')}")
+    print(f"\n  {'miner':6s} {'coin':4s} {'realized/h':>12s} {'expected/h':>12s} {'ratio':>7s}")
+    spec_by_name = {s.name: s for s in specs}
+    for miner in miners:
+        coin = assignment[miner.name]
+        on_coin = sum(m.power for m in miners if assignment[m.name] == coin)
+        spec = spec_by_name[coin]
+        expected = (
+            miner.power / on_coin * spec.coins_per_block * flat_rate(0, coin)
+            * spec.blocks_per_hour
+        )
+        realized = result.fiat_by_miner[miner.name] / horizon
+        print(
+            f"  {miner.name:6s} {coin:4s} {realized:12.1f} {expected:12.1f} "
+            f"{realized / expected:7.3f}"
+        )
+
+    # Part 2: strategic switching with 2017 difficulty rules.
+    print("\nstrategic switching (BCH price doubles at t=48h):")
+
+    def spiking_rate(t: float, coin: str) -> float:
+        if coin == "BCH":
+            return 620.0 * (2.0 if t >= 48.0 else 1.0)
+        return 6500.0
+
+    sim2 = MiningSimulation(
+        specs,
+        miners,
+        spiking_rate,
+        difficulty_rules={"BTC": BitcoinRetarget(window=36), "BCH": bch_2017_rule()},
+        reevaluation_rate_per_h=2.0,
+        seed=2,
+    )
+    result2 = sim2.run(96.0, sample_resolution_h=8.0)
+    shares = result2.hashrate_shares["BCH"]
+    print(f"  BCH hashrate share every 8h: {[round(float(s), 2) for s in shares]}")
+    print(f"  switches: {len(result2.switches)}")
+    print(f"  final BCH difficulty: {result2.chains['BCH'].difficulty:.1f}")
+
+
+if __name__ == "__main__":
+    main()

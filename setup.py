@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(where the ``wheel`` package needed by PEP 517 editable builds may be
+missing). All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""Game of Coins — a reproduction of Spiegelman, Keidar & Tennenholtz
+(ICDCS 2021 / arXiv:1805.08979).
+
+The library models strategic mining across multiple cryptocurrencies as
+a game, proves-by-execution the paper's two main results — every
+better-response learning converges to a pure equilibrium (Theorem 1),
+and a dynamic reward design mechanism can steer the system between any
+two equilibria (Algorithm 2 / Theorem 2) — and embeds the game in
+market and proof-of-work substrates that reproduce the paper's
+motivating Figure 1.
+
+Quickstart::
+
+    from repro import Game, LearningEngine, random_configuration
+
+    game = Game.create(powers=[50, 30, 20, 10, 5], reward_values=[100, 60, 30])
+    start = random_configuration(game, seed=1)
+    trajectory = LearningEngine().run(game, start, seed=2)
+    assert trajectory.converged and game.is_stable(trajectory.final)
+
+Subpackages
+-----------
+``repro.core``
+    Miners, coins, configurations, the game, potentials, equilibria,
+    assumption checkers (paper Sections 2–4, Appendices A–B).
+``repro.learning``
+    Better-response policies × activation schedulers × engine; an MWU
+    regret-learning baseline.
+``repro.design``
+    The dynamic reward design mechanism (Section 5) with cost
+    accounting and naive single-shot baselines.
+``repro.manipulation``
+    Proposition 2 witnesses; whale-transaction and exchange-rate cost
+    models with ROI reports.
+``repro.market``
+    Coin specs, exchange-rate/fee processes, coin weights, miner
+    populations, the November-2017 BTC/BCH scenario.
+``repro.chainsim``
+    Event-driven PoW simulation: block lotteries, difficulty rules,
+    strategic switching at block granularity.
+``repro.analysis``
+    Welfare (Observation 3), price of anarchy/stability, convergence
+    statistics, 51%-security metrics.
+``repro.experiments``
+    The E1–E10 experiment runners behind ``benchmarks/``.
+"""
+
+from repro.core import (
+    Coin,
+    Configuration,
+    Game,
+    Miner,
+    RewardFunction,
+    compare_potential,
+    enumerate_equilibria,
+    greedy_equilibrium,
+    make_coins,
+    make_miners,
+    proposition1_counterexample,
+    random_configuration,
+    random_game,
+    rpu_list,
+    sorted_by_power,
+    symmetric_potential,
+    two_distinct_equilibria,
+)
+from repro.design import DynamicRewardDesign, MechanismResult
+from repro.exceptions import (
+    AssumptionViolatedError,
+    ConvergenceError,
+    GameOfCoinsError,
+    InvalidConfigurationError,
+    InvalidModelError,
+    NotAnEquilibriumError,
+    RewardDesignError,
+    SimulationError,
+)
+from repro.learning import (
+    BestResponsePolicy,
+    LearningEngine,
+    MinimalGainPolicy,
+    RandomImprovingPolicy,
+    Trajectory,
+    converge,
+)
+from repro.manipulation import find_better_equilibrium_exhaustive, manipulation_roi
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Coin",
+    "Configuration",
+    "Game",
+    "Miner",
+    "RewardFunction",
+    "compare_potential",
+    "enumerate_equilibria",
+    "greedy_equilibrium",
+    "make_coins",
+    "make_miners",
+    "proposition1_counterexample",
+    "random_configuration",
+    "random_game",
+    "rpu_list",
+    "sorted_by_power",
+    "symmetric_potential",
+    "two_distinct_equilibria",
+    "DynamicRewardDesign",
+    "MechanismResult",
+    "AssumptionViolatedError",
+    "ConvergenceError",
+    "GameOfCoinsError",
+    "InvalidConfigurationError",
+    "InvalidModelError",
+    "NotAnEquilibriumError",
+    "RewardDesignError",
+    "SimulationError",
+    "BestResponsePolicy",
+    "LearningEngine",
+    "MinimalGainPolicy",
+    "RandomImprovingPolicy",
+    "Trajectory",
+    "converge",
+    "find_better_equilibrium_exhaustive",
+    "manipulation_roi",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Numeric layer: exact and floating-point arithmetic for game payoffs.
+
+The core game compares revenue-per-unit (RPU) values to decide whether a
+move is a better-response step. Those comparisons must be *exact*:
+Assumption 2 of the paper (generic game) rules out ties, and a float
+rounding error that manufactures or hides a tie corrupts stability
+checks, the ordinal potential, and the reward design invariants.
+
+We therefore represent mining powers and rewards as
+:class:`fractions.Fraction` inside the core game. Values enter the
+library as ``int``, ``Fraction`` or ``float``; floats are converted via
+``Fraction(float)`` which is exact (every float is a dyadic rational).
+
+The large-scale simulators (``repro.chainsim``, ``repro.market``) work in
+floats for speed; they convert at the boundary using the helpers here.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+Number = Union[int, float, Fraction]
+
+#: Values below this are treated as "no power" when validating floats.
+_MIN_POSITIVE = Fraction(0)
+
+
+def to_fraction(value: Number, *, name: str = "value") -> Fraction:
+    """Convert *value* to an exact :class:`Fraction`.
+
+    Raises :class:`TypeError` for non-numeric inputs and
+    :class:`ValueError` for NaN/infinite floats, naming the offending
+    parameter for actionable error messages.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got bool {value!r}")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value:
+            raise ValueError(f"{name} must not be NaN")
+        if value in (float("inf"), float("-inf")):
+            raise ValueError(f"{name} must be finite, got {value!r}")
+        return Fraction(value)
+    raise TypeError(f"{name} must be int, float or Fraction, got {type(value).__name__}")
+
+
+def to_positive_fraction(value: Number, *, name: str = "value") -> Fraction:
+    """Convert *value* to a Fraction and require it to be strictly positive."""
+    frac = to_fraction(value, name=name)
+    if frac <= _MIN_POSITIVE:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return frac
+
+
+def as_float(value: Number) -> float:
+    """Best-effort float view of a numeric value (for reporting only)."""
+    return float(value)

@@ -1,0 +1,73 @@
+"""Analysis tools: welfare, efficiency, convergence stats, security metrics."""
+
+from repro.analysis.basins import (
+    BasinProfile,
+    basin_by_policy,
+    basin_profile,
+    expected_payoff_from_luck,
+)
+from repro.analysis.convergence import (
+    ConvergenceStats,
+    convergence_sweep,
+    measure_convergence,
+)
+from repro.analysis.paths import (
+    improvement_graph,
+    is_acyclic,
+    longest_improvement_path,
+    reachable_equilibria,
+    sink_configurations,
+)
+from repro.analysis.efficiency import (
+    EfficiencyReport,
+    PayoffEnvelope,
+    efficiency_report,
+    payoff_envelopes,
+)
+from repro.analysis.security import (
+    CoinSecurity,
+    coin_security,
+    dominance_target,
+    security_report,
+    vulnerable_coins,
+)
+from repro.analysis.welfare import (
+    gini_coefficient,
+    max_welfare,
+    payoff_distribution,
+    reward_per_unit_spread,
+    social_welfare,
+    verifies_observation3,
+    welfare_gap,
+)
+
+__all__ = [
+    "BasinProfile",
+    "basin_by_policy",
+    "basin_profile",
+    "expected_payoff_from_luck",
+    "ConvergenceStats",
+    "convergence_sweep",
+    "measure_convergence",
+    "improvement_graph",
+    "is_acyclic",
+    "longest_improvement_path",
+    "reachable_equilibria",
+    "sink_configurations",
+    "EfficiencyReport",
+    "PayoffEnvelope",
+    "efficiency_report",
+    "payoff_envelopes",
+    "CoinSecurity",
+    "coin_security",
+    "dominance_target",
+    "security_report",
+    "vulnerable_coins",
+    "gini_coefficient",
+    "max_welfare",
+    "payoff_distribution",
+    "reward_per_unit_spread",
+    "social_welfare",
+    "verifies_observation3",
+    "welfare_gap",
+]

@@ -1,0 +1,120 @@
+"""Basin-of-attraction analysis: which equilibrium does learning find?
+
+Theorem 1 says learning converges; it does not say *where*. For games
+with several equilibria, the reached one depends on the start and on
+the improvement path — which is precisely why the reward design
+mechanism exists (you cannot rely on luck to land in your favourite
+equilibrium). This module measures the empirical landing distribution:
+
+* :func:`basin_profile` — from many random starts, the frequency of
+  each reached equilibrium.
+* :func:`basin_by_policy` — how much the landing distribution shifts
+  across learning policies (same starts, different paths).
+
+E13 reports these; the manipulation planner
+(:mod:`repro.manipulation.planner`) uses them to price "wait for luck"
+against "pay for the mechanism".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.factories import random_configuration
+from repro.core.game import Game
+from repro.learning.engine import LearningEngine
+from repro.learning.policies import BetterResponsePolicy
+from repro.util.rng import RngLike, spawn_rngs
+
+
+@dataclass(frozen=True)
+class BasinProfile:
+    """Landing frequencies of equilibria from random starts."""
+
+    #: equilibrium → fraction of starts that converged to it.
+    frequencies: Dict[Configuration, float]
+    samples: int
+
+    @property
+    def distinct_equilibria(self) -> int:
+        return len(self.frequencies)
+
+    def probability_of(self, equilibrium: Configuration) -> float:
+        """Empirical probability of landing on *equilibrium* (0 if unseen)."""
+        return self.frequencies.get(equilibrium, 0.0)
+
+    def dominant(self) -> Tuple[Configuration, float]:
+        """The most likely equilibrium and its frequency."""
+        equilibrium = max(self.frequencies, key=lambda c: self.frequencies[c])
+        return equilibrium, self.frequencies[equilibrium]
+
+    def entropy(self) -> float:
+        """Shannon entropy (bits) of the landing distribution.
+
+        0 means learning is effectively deterministic about where it
+        ends; log2(#equilibria) means all basins are equally likely.
+        """
+        import math
+
+        return -sum(
+            p * math.log2(p) for p in self.frequencies.values() if p > 0
+        )
+
+
+def basin_profile(
+    game: Game,
+    *,
+    samples: int = 50,
+    policy: Optional[BetterResponsePolicy] = None,
+    seed: RngLike = None,
+) -> BasinProfile:
+    """Estimate the landing distribution from uniform random starts."""
+    if samples < 1:
+        raise ValueError(f"samples must be ≥ 1, got {samples}")
+    rngs = spawn_rngs(seed if isinstance(seed, int) else None, 2 * samples)
+    engine = LearningEngine(policy=policy, record_configurations=False)
+    counts: Dict[Configuration, int] = {}
+    for index in range(samples):
+        start = random_configuration(game, seed=rngs[2 * index])
+        final = engine.run(game, start, seed=rngs[2 * index + 1]).final
+        counts[final] = counts.get(final, 0) + 1
+    return BasinProfile(
+        frequencies={config: count / samples for config, count in counts.items()},
+        samples=samples,
+    )
+
+
+def basin_by_policy(
+    game: Game,
+    policies: Sequence[BetterResponsePolicy],
+    *,
+    samples: int = 30,
+    seed: int = 0,
+) -> Dict[str, BasinProfile]:
+    """Landing distributions per policy (shared starting points)."""
+    return {
+        policy.name: basin_profile(
+            game, samples=samples, policy=policy, seed=seed
+        )
+        for policy in policies
+    }
+
+
+def expected_payoff_from_luck(
+    game: Game, miner, profile: BasinProfile
+):
+    """A miner's expected payoff if the market just 'falls' somewhere.
+
+    The baseline a rational manipulator compares the design mechanism
+    against: do nothing and take the basin-weighted average payoff.
+    """
+    from fractions import Fraction
+
+    total = Fraction(0)
+    for equilibrium, frequency in profile.frequencies.items():
+        total += game.payoff(miner, equilibrium) * Fraction(frequency).limit_denominator(
+            10**9
+        )
+    return total

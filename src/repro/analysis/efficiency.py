@@ -1,0 +1,78 @@
+"""Price of anarchy / stability for the Game of Coins.
+
+Because Observation 3 pins every equilibrium's welfare to the optimum
+(under Assumption 1), the interesting inefficiency is *per-miner*
+variation across equilibria, not total-welfare loss. Both classical
+ratios and the per-miner payoff envelope are provided; E5/E6 report
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.analysis.welfare import max_welfare, social_welfare
+from repro.exceptions import InvalidModelError
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Welfare ratios over a set of equilibria of one game."""
+
+    #: worst equilibrium welfare / optimal welfare.
+    price_of_anarchy: float
+    #: best equilibrium welfare / optimal welfare.
+    price_of_stability: float
+    equilibria_count: int
+
+
+def efficiency_report(game: Game, equilibria: Sequence[Configuration]) -> EfficiencyReport:
+    """Compute PoA/PoS over the provided equilibria."""
+    if not equilibria:
+        raise InvalidModelError("need at least one equilibrium")
+    optimum = float(max_welfare(game))
+    welfares = [float(social_welfare(game, config)) for config in equilibria]
+    return EfficiencyReport(
+        price_of_anarchy=min(welfares) / optimum,
+        price_of_stability=max(welfares) / optimum,
+        equilibria_count=len(equilibria),
+    )
+
+
+@dataclass(frozen=True)
+class PayoffEnvelope:
+    """Per-miner payoff range across equilibria."""
+
+    miner: str
+    lowest: Fraction
+    highest: Fraction
+
+    @property
+    def ratio(self) -> float:
+        """How much the miner's fate varies across equilibria (≥ 1)."""
+        if self.lowest == 0:
+            return float("inf")
+        return float(self.highest / self.lowest)
+
+
+def payoff_envelopes(
+    game: Game, equilibria: Sequence[Configuration]
+) -> List[PayoffEnvelope]:
+    """The payoff range of every miner across the given equilibria.
+
+    A miner with ``ratio > 1`` is exactly a miner for whom Section 4's
+    manipulation is worth paying for.
+    """
+    if not equilibria:
+        raise InvalidModelError("need at least one equilibrium")
+    envelopes = []
+    for miner in game.miners:
+        payoffs = [game.payoff(miner, config) for config in equilibria]
+        envelopes.append(
+            PayoffEnvelope(miner=miner.name, lowest=min(payoffs), highest=max(payoffs))
+        )
+    return envelopes

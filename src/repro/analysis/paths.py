@@ -1,0 +1,163 @@
+"""Exact improvement-graph analysis (small games).
+
+Theorem 1 is equivalent to a graph statement: the *improvement graph* —
+configurations as nodes, better-response steps as edges — is acyclic,
+and its sinks are exactly the pure equilibria. For small games this
+module materializes that graph and extracts exact quantities no
+sampling can give:
+
+* :func:`improvement_graph` — the full directed graph,
+* :func:`is_acyclic` — Theorem 1, decided exactly,
+* :func:`longest_improvement_path` — the *worst-case* number of
+  better-response steps any learning process can ever take (the tight
+  version of E2's empirical step counts),
+* :func:`sink_configurations` — equilibria as graph sinks (must agree
+  with :func:`repro.core.equilibrium.enumerate_equilibria`),
+* :func:`reachable_equilibria` — which equilibria a given start can
+  end at (the exact version of basin analysis).
+
+Everything here is exponential in ``n`` and guarded accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.exceptions import InvalidModelError
+
+#: Adjacency: configuration → better-response successors.
+ImprovementGraph = Dict[Configuration, Tuple[Configuration, ...]]
+
+_DEFAULT_LIMIT = 100_000
+
+
+def improvement_graph(game: Game, *, limit: int = _DEFAULT_LIMIT) -> ImprovementGraph:
+    """The full better-response graph of *game*.
+
+    Raises :class:`InvalidModelError` when the configuration space
+    exceeds *limit* (the graph has ``|C|^n`` nodes).
+    """
+    count = game.configuration_count()
+    if count > limit:
+        raise InvalidModelError(
+            f"improvement graph has {count} nodes, above the limit {limit}"
+        )
+    graph: ImprovementGraph = {}
+    for config in game.all_configurations():
+        successors: List[Configuration] = []
+        for miner in game.miners:
+            for coin in game.better_response_moves(miner, config):
+                successors.append(config.move(miner, coin))
+        graph[config] = tuple(successors)
+    return graph
+
+
+def sink_configurations(graph: ImprovementGraph) -> List[Configuration]:
+    """Nodes with no outgoing edge — the pure equilibria."""
+    return [config for config, successors in graph.items() if not successors]
+
+
+def is_acyclic(graph: ImprovementGraph) -> bool:
+    """Whether the improvement graph has no directed cycle.
+
+    Theorem 1 implies ``True`` for every game; this decides it exactly
+    by iterative DFS with colors.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Configuration, int] = {node: WHITE for node in graph}
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Configuration, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, index = stack[-1]
+            successors = graph[node]
+            if index < len(successors):
+                stack[-1] = (node, index + 1)
+                child = successors[index]
+                if color[child] == GRAY:
+                    return False
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return True
+
+
+def longest_improvement_path(graph: ImprovementGraph) -> int:
+    """The maximum number of steps any improving path can take.
+
+    Computed by memoized longest-path on the DAG (raises if the graph
+    is cyclic, which Theorem 1 forbids). This is the exact worst case
+    over *all* schedulers, policies and starts.
+    """
+    if not is_acyclic(graph):
+        raise InvalidModelError(
+            "improvement graph is cyclic; this contradicts Theorem 1 and "
+            "indicates a payoff-model bug"
+        )
+    memo: Dict[Configuration, int] = {}
+
+    def depth(node: Configuration) -> int:
+        if node in memo:
+            return memo[node]
+        # Iterative post-order (avoids recursion limits on long chains):
+        # a node is finalized only once every successor has a memo entry.
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in memo:
+                stack.pop()
+                continue
+            pending = [child for child in graph[current] if child not in memo]
+            if pending:
+                stack.extend(pending)
+            else:
+                memo[current] = max(
+                    (1 + memo[child] for child in graph[current]), default=0
+                )
+                stack.pop()
+        return memo[node]
+
+    return max(depth(node) for node in graph) if graph else 0
+
+
+def reachable_equilibria(
+    game: Game,
+    start: Configuration,
+    *,
+    limit: int = _DEFAULT_LIMIT,
+) -> List[Configuration]:
+    """All equilibria some improving path from *start* can reach.
+
+    The exact counterpart of :func:`repro.analysis.basins.basin_profile`
+    (which samples one path per start). BFS over the improvement graph
+    restricted to nodes reachable from *start*.
+    """
+    count = game.configuration_count()
+    if count > limit:
+        raise InvalidModelError(
+            f"reachability needs the improvement graph ({count} nodes > {limit})"
+        )
+    frontier = [start]
+    seen: Set[Configuration] = {start}
+    sinks: List[Configuration] = []
+    while frontier:
+        config = frontier.pop()
+        successors: List[Configuration] = []
+        for miner in game.miners:
+            for coin in game.better_response_moves(miner, config):
+                successors.append(config.move(miner, coin))
+        if not successors:
+            sinks.append(config)
+            continue
+        for child in successors:
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return sinks

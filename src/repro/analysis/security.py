@@ -1,0 +1,106 @@
+"""Decentralization / 51%-security metrics (paper Discussion, E10).
+
+The paper's discussion warns that reward design can be aimed at a *bad*
+configuration "in which a particular miner will have a dominant
+position in a coin, killing … the basic guarantee of non-manipulation
+(security) for that coin". These metrics quantify that exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.core.coin import Coin
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner
+
+
+@dataclass(frozen=True)
+class CoinSecurity:
+    """Security posture of one coin in one configuration."""
+
+    coin: str
+    miners: int
+    #: Largest miner's share of the coin's power (1.0 when alone).
+    top_share: float
+    #: Herfindahl–Hirschman index of power shares (1.0 = monopoly).
+    hhi: float
+
+    @property
+    def majority_vulnerable(self) -> bool:
+        """True when a single miner controls > 50% of the coin."""
+        return self.top_share > 0.5
+
+
+def coin_security(game: Game, config: Configuration, coin: Coin) -> Optional[CoinSecurity]:
+    """Security metrics for *coin*, or ``None`` if nobody mines it."""
+    occupants = config.miners_on(coin)
+    if not occupants:
+        return None
+    total = sum((miner.power for miner in occupants), Fraction(0))
+    shares = [float(miner.power / total) for miner in occupants]
+    return CoinSecurity(
+        coin=coin.name,
+        miners=len(occupants),
+        top_share=max(shares),
+        hhi=sum(share * share for share in shares),
+    )
+
+
+def security_report(game: Game, config: Configuration) -> List[CoinSecurity]:
+    """Per-coin security metrics for every occupied coin."""
+    report = []
+    for coin in game.coins:
+        entry = coin_security(game, config, coin)
+        if entry is not None:
+            report.append(entry)
+    return report
+
+
+def vulnerable_coins(game: Game, config: Configuration) -> List[str]:
+    """Names of coins where one miner holds a strict majority."""
+    return [
+        entry.coin for entry in security_report(game, config) if entry.majority_vulnerable
+    ]
+
+
+def dominance_target(
+    game: Game, attacker: Miner, coin: Coin
+) -> Optional[Configuration]:
+    """An equilibrium-ish target where *attacker* dominates *coin*.
+
+    Builds the configuration greedily: the attacker is pinned to
+    *coin*; every other miner is inserted (largest first) at its best
+    response given earlier placements, but *excluded* from *coin*
+    whenever joining would keep the attacker's share above 50% anyway —
+    i.e. we look for the most natural configuration in which the
+    attacker majority-controls the coin. Returns ``None`` when no
+    stable such configuration is found, since the attack then needs a
+    non-equilibrium (transient) target, which Algorithm 2 cannot pin.
+    """
+    from repro.core.equilibrium import enumerate_equilibria
+
+    if game.configuration_count() > 2_000_000:
+        raise ValueError(
+            "dominance_target enumerates equilibria; game too large — "
+            "use the greedy scenario construction in experiments.e10 instead"
+        )
+    best: Optional[Configuration] = None
+    best_payoff = None
+    for config in enumerate_equilibria(game):
+        entry = coin_security(game, config, coin)
+        if entry is None:
+            continue
+        occupants = config.miners_on(coin)
+        if attacker not in occupants:
+            continue
+        total = sum((miner.power for miner in occupants), Fraction(0))
+        if attacker.power / total <= Fraction(1, 2):
+            continue
+        payoff = game.payoff(attacker, config)
+        if best_payoff is None or payoff > best_payoff:
+            best, best_payoff = config, payoff
+    return best

@@ -1,0 +1,81 @@
+"""Welfare accounting (Observation 3 and around it).
+
+Observation 3: under Assumption 1, every stable configuration is
+globally optimal — the miners' payoffs sum to ``Σ_c F(c)`` because no
+coin is left unmined. These helpers measure welfare, the welfare gap of
+arbitrary configurations (unmined coins burn reward), and distributional
+statistics used by the experiment tables.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner
+
+
+def social_welfare(game: Game, config: Configuration) -> Fraction:
+    """``Σ_p u_p(s)`` — total payoff actually collected."""
+    return game.social_welfare(config)
+
+
+def max_welfare(game: Game) -> Fraction:
+    """``Σ_c F(c)`` — the welfare bound of Observation 3."""
+    return game.rewards.total()
+
+
+def welfare_gap(game: Game, config: Configuration) -> Fraction:
+    """Reward left on the table: ``Σ_c F(c) − Σ_p u_p(s)``.
+
+    Equals the summed rewards of unmined coins; zero exactly when every
+    coin has at least one miner.
+    """
+    return max_welfare(game) - social_welfare(game, config)
+
+
+def verifies_observation3(game: Game, config: Configuration) -> bool:
+    """Whether *config* attains the Observation 3 optimum exactly."""
+    return welfare_gap(game, config) == 0
+
+
+def payoff_distribution(game: Game, config: Configuration) -> Dict[str, Fraction]:
+    """Payoffs keyed by miner name (report-friendly)."""
+    return {miner.name: game.payoff(miner, config) for miner in game.miners}
+
+
+def gini_coefficient(values: Sequence[Fraction]) -> float:
+    """Gini index of a payoff vector (0 = equal, →1 = concentrated).
+
+    Used to compare how different equilibria distribute the same total
+    welfare across miners.
+    """
+    if not values:
+        raise ValueError("gini of an empty sequence is undefined")
+    floats = sorted(float(v) for v in values)
+    if any(v < 0 for v in floats):
+        raise ValueError("gini is defined for non-negative values")
+    total = sum(floats)
+    if total == 0:
+        return 0.0
+    n = len(floats)
+    weighted = sum((index + 1) * value for index, value in enumerate(floats))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def reward_per_unit_spread(game: Game, config: Configuration) -> float:
+    """Max/min RPU ratio over occupied coins (1.0 = perfectly even).
+
+    In equilibrium RPUs are nearly even (big miners equalize them);
+    this measures how far a configuration is from that state.
+    """
+    rpus = [game.rpu(coin, config) for coin in game.coins]
+    occupied = [float(r) for r in rpus if r is not None]
+    if not occupied:
+        raise ValueError("configuration occupies no coin")
+    low = min(occupied)
+    if low == 0:
+        return float("inf")
+    return max(occupied) / low

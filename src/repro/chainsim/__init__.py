@@ -1,0 +1,36 @@
+"""PoW chain substrate: block lottery, difficulty rules, event-driven sim."""
+
+from repro.chainsim.chain import Block, Blockchain
+from repro.chainsim.difficulty import (
+    BitcoinRetarget,
+    ComposedRule,
+    DifficultyRule,
+    EmergencyAdjustment,
+    StaticDifficulty,
+    bch_2017_rule,
+)
+from repro.chainsim.miningsim import (
+    MiningSimulation,
+    SimMiner,
+    SimulationResult,
+    SwitchEvent,
+)
+from repro.chainsim.pow import BlockLottery, LotteryDraw, calibrated_difficulty
+
+__all__ = [
+    "Block",
+    "Blockchain",
+    "BitcoinRetarget",
+    "ComposedRule",
+    "DifficultyRule",
+    "EmergencyAdjustment",
+    "StaticDifficulty",
+    "bch_2017_rule",
+    "MiningSimulation",
+    "SimMiner",
+    "SimulationResult",
+    "SwitchEvent",
+    "BlockLottery",
+    "LotteryDraw",
+    "calibrated_difficulty",
+]

@@ -1,0 +1,116 @@
+"""Difficulty adjustment rules.
+
+Difficulty couples hashrate migration back into profitability: when
+miners leave a coin its blocks slow down, and until the rule adjusts,
+per-block rewards are spread over fewer blocks per hour — which is why
+the November 2017 BTC↔BCH oscillation (Figure 1) was so violent. Two
+rules from that era are implemented:
+
+* :class:`BitcoinRetarget` — every ``window`` blocks, rescale so the
+  window would have taken exactly ``window · target``, clamped to 4×.
+* :class:`EmergencyAdjustment` — Bitcoin Cash's 2017 EDA: if the last
+  few blocks were much too slow, cut difficulty by 20% immediately.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SimulationError
+
+
+class DifficultyRule(abc.ABC):
+    """Given recent block timestamps, produce the next difficulty."""
+
+    @abc.abstractmethod
+    def adjust(
+        self,
+        timestamps_h: Sequence[float],
+        difficulty: float,
+        target_interval_h: float,
+    ) -> float:
+        """New difficulty after the latest block.
+
+        ``timestamps_h`` are the chain's block times in hours, oldest
+        first, including the just-found block.
+        """
+
+
+@dataclass(frozen=True)
+class StaticDifficulty(DifficultyRule):
+    """No adjustment — the control case for short horizons."""
+
+    def adjust(self, timestamps_h, difficulty, target_interval_h):
+        return difficulty
+
+
+@dataclass(frozen=True)
+class BitcoinRetarget(DifficultyRule):
+    """Bitcoin's periodic retarget (window shrunk for simulation speed)."""
+
+    window: int = 144
+    clamp: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise SimulationError(f"retarget window must be ≥ 2, got {self.window}")
+        if self.clamp <= 1:
+            raise SimulationError(f"clamp must exceed 1, got {self.clamp}")
+
+    def adjust(self, timestamps_h, difficulty, target_interval_h):
+        height = len(timestamps_h)
+        if height < self.window + 1 or (height - 1) % self.window != 0:
+            return difficulty
+        elapsed = timestamps_h[-1] - timestamps_h[-1 - self.window]
+        expected = self.window * target_interval_h
+        if elapsed <= 0:
+            return difficulty * self.clamp
+        factor = expected / elapsed
+        factor = min(max(factor, 1.0 / self.clamp), self.clamp)
+        return difficulty * factor
+
+
+@dataclass(frozen=True)
+class EmergencyAdjustment(DifficultyRule):
+    """BCH's 2017 EDA, simplified: too-slow recent blocks ⇒ −20%.
+
+    If the last ``lookback`` blocks took more than ``trigger_factor``
+    times their target duration, difficulty drops 20%. Composed with a
+    base rule via :class:`ComposedRule`.
+    """
+
+    lookback: int = 6
+    trigger_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.lookback < 1:
+            raise SimulationError(f"lookback must be ≥ 1, got {self.lookback}")
+        if self.trigger_factor <= 1:
+            raise SimulationError("trigger factor must exceed 1")
+
+    def adjust(self, timestamps_h, difficulty, target_interval_h):
+        if len(timestamps_h) < self.lookback + 1:
+            return difficulty
+        elapsed = timestamps_h[-1] - timestamps_h[-1 - self.lookback]
+        if elapsed > self.trigger_factor * self.lookback * target_interval_h:
+            return difficulty * 0.8
+        return difficulty
+
+
+@dataclass(frozen=True)
+class ComposedRule(DifficultyRule):
+    """Apply several rules in sequence (e.g. retarget + EDA)."""
+
+    rules: Sequence[DifficultyRule]
+
+    def adjust(self, timestamps_h, difficulty, target_interval_h):
+        for rule in self.rules:
+            difficulty = rule.adjust(timestamps_h, difficulty, target_interval_h)
+        return difficulty
+
+
+def bch_2017_rule() -> DifficultyRule:
+    """The rule set BCH ran during the Figure 1 episode."""
+    return ComposedRule((BitcoinRetarget(window=144), EmergencyAdjustment()))

@@ -1,0 +1,336 @@
+"""Event-driven mining simulation across multiple PoW chains.
+
+This is the physical layer underneath the paper's one-line payoff
+model. Miners sit on coins; blocks arrive as exponential races
+(:mod:`repro.chainsim.pow`); difficulty rules react to migration
+(:mod:`repro.chainsim.difficulty`); and at Poisson re-evaluation times
+each miner compares its *expected fiat income rate* across coins and
+takes a better-response switch if one exists.
+
+The expected income rate of miner ``p`` on coin ``c`` is
+
+    ``m_p / M_c · value_per_block(c) / current_interval(c)``
+
+with ``current_interval = difficulty / M_c`` — so when difficulty has
+caught up with migration this is exactly the paper's
+``m_p · F(c)/M_c``, and between adjustments it captures the transient
+over/under-rewarding that made the 2017 BTC/BCH oscillation violent.
+
+Two uses in the experiment suite:
+
+* E1 replays the Figure 1 episode at block granularity.
+* The integration tests verify the substitution claim of DESIGN.md §4:
+  long-run realized rewards converge to the game-model payoffs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chainsim.chain import Blockchain
+from repro.chainsim.difficulty import DifficultyRule, StaticDifficulty
+from repro.chainsim.pow import BlockLottery, calibrated_difficulty
+from repro.exceptions import SimulationError
+from repro.market.coins import CoinSpec
+from repro.util.rng import RngLike, make_rng
+
+#: Maps (time in hours, coin name) to the coin's fiat exchange rate.
+RateFn = Callable[[float, str], float]
+
+
+@dataclass(frozen=True)
+class SimMiner:
+    """A miner in the chain simulation (float power for speed)."""
+
+    name: str
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.power <= 0:
+            raise SimulationError(f"miner {self.name!r} needs positive power")
+
+
+@dataclass
+class SwitchEvent:
+    """A recorded coin switch by one miner."""
+
+    time_h: float
+    miner: str
+    source: str
+    target: str
+
+
+@dataclass
+class SimulationResult:
+    """Everything the mining simulation measured."""
+
+    chains: Dict[str, Blockchain]
+    switches: List[SwitchEvent]
+    #: Sample times and per-coin hashrate shares at those times.
+    sample_times_h: np.ndarray
+    hashrate_shares: Dict[str, np.ndarray]
+    #: Fiat earned per miner (valued at the rate when each block landed).
+    fiat_by_miner: Dict[str, float]
+    final_assignment: Dict[str, str]
+
+    def blocks_found(self, coin: str) -> int:
+        return self.chains[coin].height
+
+
+class MiningSimulation:
+    """Multi-chain, event-driven PoW simulation with strategic switching.
+
+    Parameters
+    ----------
+    specs:
+        The coins being mined.
+    miners:
+        The miner population (float powers).
+    rate_fn:
+        Fiat exchange rate per coin over time; drives switching
+        decisions and fiat accounting.
+    reevaluation_rate_per_h:
+        Each miner re-checks profitability at Poisson times with this
+        rate (whattomine-style polling).
+    switch_threshold:
+        Relative income improvement required to switch (hysteresis; 0
+        reproduces pure better response).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[CoinSpec],
+        miners: Sequence[SimMiner],
+        rate_fn: RateFn,
+        *,
+        difficulty_rules: Optional[Dict[str, DifficultyRule]] = None,
+        reevaluation_rate_per_h: float = 2.0,
+        switch_threshold: float = 0.0,
+        seed: RngLike = None,
+    ):
+        if not specs:
+            raise SimulationError("simulation needs at least one coin")
+        if not miners:
+            raise SimulationError("simulation needs at least one miner")
+        names = [miner.name for miner in miners]
+        if len(set(names)) != len(names):
+            raise SimulationError("miner names must be unique")
+        if reevaluation_rate_per_h <= 0:
+            raise SimulationError("re-evaluation rate must be positive")
+        if switch_threshold < 0:
+            raise SimulationError("switch threshold must be non-negative")
+        self.specs = {spec.name: spec for spec in specs}
+        if len(self.specs) != len(specs):
+            raise SimulationError("coin names must be unique")
+        self.miners = {miner.name: miner for miner in miners}
+        self.rate_fn = rate_fn
+        self.reevaluation_rate_per_h = reevaluation_rate_per_h
+        self.switch_threshold = switch_threshold
+        self._rng = make_rng(seed)
+        self._lottery = BlockLottery(seed=self._rng)
+        self._difficulty_rules = difficulty_rules or {}
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        horizon_h: float,
+        *,
+        initial_assignment: Optional[Dict[str, str]] = None,
+        sample_resolution_h: float = 1.0,
+    ) -> SimulationResult:
+        """Simulate *horizon_h* hours of mining."""
+        if horizon_h <= 0:
+            raise SimulationError("horizon must be positive")
+        assignment = self._initial_assignment(initial_assignment)
+        chains = self._build_chains(assignment)
+
+        switches: List[SwitchEvent] = []
+        fiat: Dict[str, float] = {name: 0.0 for name in self.miners}
+
+        sample_times = np.arange(0.0, horizon_h + 1e-9, sample_resolution_h)
+        shares: Dict[str, List[float]] = {name: [] for name in self.specs}
+        next_sample_index = 0
+
+        # Event queue: (time, sequence, kind, payload). Block events are
+        # re-drawn whenever the power on a coin changes (the exponential
+        # race is memoryless, so re-drawing is distribution-preserving).
+        now = 0.0
+        epoch: Dict[str, int] = {name: 0 for name in self.specs}
+        queue: List[Tuple[float, int, str, str, int]] = []
+        sequence = 0
+
+        def schedule_block(coin: str) -> None:
+            nonlocal sequence
+            draw = self._lottery.draw(self._powers_on(coin, assignment), chains[coin].difficulty)
+            if draw is None:
+                return
+            sequence += 1
+            heapq.heappush(
+                queue, (now + draw.wait_h, sequence, "block", coin, epoch[coin])
+            )
+
+        def schedule_reevaluation(miner: str) -> None:
+            nonlocal sequence
+            wait = float(self._rng.exponential(1.0 / self.reevaluation_rate_per_h))
+            sequence += 1
+            heapq.heappush(queue, (now + wait, sequence, "reeval", miner, 0))
+
+        for coin in self.specs:
+            schedule_block(coin)
+        for miner in self.miners:
+            schedule_reevaluation(miner)
+
+        while queue:
+            time, _, kind, subject, event_epoch = heapq.heappop(queue)
+            if time > horizon_h:
+                break
+            # Emit samples up to the event time.
+            while (
+                next_sample_index < len(sample_times)
+                and sample_times[next_sample_index] <= time
+            ):
+                self._record_shares(shares, assignment)
+                next_sample_index += 1
+            now = time
+
+            if kind == "block":
+                coin = subject
+                if event_epoch != epoch[coin]:
+                    continue  # stale draw from before a power change
+                powers = self._powers_on(coin, assignment)
+                if not powers:
+                    continue
+                draw_names = list(powers)
+                values = np.array([powers[n] for n in draw_names])
+                winner = draw_names[int(self._rng.choice(len(draw_names), p=values / values.sum()))]
+                block = chains[coin].append(now, winner)
+                fiat[winner] += block.reward_coins * self.rate_fn(now, coin)
+                epoch[coin] += 1
+                schedule_block(coin)
+            else:
+                miner = subject
+                moved = self._maybe_switch(miner, assignment, chains, now, switches)
+                if moved:
+                    for coin in moved:
+                        epoch[coin] += 1
+                        schedule_block(coin)
+                schedule_reevaluation(miner)
+
+        while next_sample_index < len(sample_times):
+            self._record_shares(shares, assignment)
+            next_sample_index += 1
+
+        return SimulationResult(
+            chains=chains,
+            switches=switches,
+            sample_times_h=sample_times,
+            hashrate_shares={name: np.array(path) for name, path in shares.items()},
+            fiat_by_miner=fiat,
+            final_assignment=dict(assignment),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _initial_assignment(
+        self, initial: Optional[Dict[str, str]]
+    ) -> Dict[str, str]:
+        first_coin = next(iter(self.specs))
+        if initial is None:
+            return {name: first_coin for name in self.miners}
+        assignment = dict(initial)
+        for name in self.miners:
+            if name not in assignment:
+                raise SimulationError(f"initial assignment misses miner {name!r}")
+            if assignment[name] not in self.specs:
+                raise SimulationError(
+                    f"initial assignment puts {name!r} on unknown coin "
+                    f"{assignment[name]!r}"
+                )
+        return assignment
+
+    def _build_chains(self, assignment: Dict[str, str]) -> Dict[str, Blockchain]:
+        chains: Dict[str, Blockchain] = {}
+        total_power = sum(miner.power for miner in self.miners.values())
+        for name, spec in self.specs.items():
+            on_coin = sum(
+                self.miners[m].power for m, c in assignment.items() if c == name
+            )
+            # Calibrate so the *initial* occupants hit the target
+            # interval; an empty coin is calibrated to 10% of the
+            # network (a plausible pre-history).
+            basis = on_coin if on_coin > 0 else 0.1 * total_power
+            difficulty = calibrated_difficulty(basis, spec.block_interval_s / 3600.0)
+            rule = self._difficulty_rules.get(name, StaticDifficulty())
+            chains[name] = Blockchain(spec=spec, difficulty=difficulty, rule=rule)
+        return chains
+
+    def _powers_on(self, coin: str, assignment: Dict[str, str]) -> Dict[str, float]:
+        return {
+            name: self.miners[name].power
+            for name, chosen in assignment.items()
+            if chosen == coin
+        }
+
+    def _income_rate(
+        self,
+        miner: SimMiner,
+        coin: str,
+        assignment: Dict[str, str],
+        chains: Dict[str, Blockchain],
+        now: float,
+        *,
+        joining: bool,
+    ) -> float:
+        """Expected fiat/hour for *miner* on *coin* (after joining it)."""
+        power_on = sum(self._powers_on(coin, assignment).values())
+        if joining:
+            power_on += miner.power
+        if power_on <= 0:
+            return 0.0
+        blocks_per_h = power_on / chains[coin].difficulty
+        value_per_block = self.specs[coin].coins_per_block * self.rate_fn(now, coin)
+        return (miner.power / power_on) * blocks_per_h * value_per_block
+
+    def _maybe_switch(
+        self,
+        miner_name: str,
+        assignment: Dict[str, str],
+        chains: Dict[str, Blockchain],
+        now: float,
+        switches: List[SwitchEvent],
+    ) -> Optional[Tuple[str, str]]:
+        """Apply one better-response switch if profitable; return affected coins."""
+        miner = self.miners[miner_name]
+        current = assignment[miner_name]
+        current_income = self._income_rate(
+            miner, current, assignment, chains, now, joining=False
+        )
+        best_coin, best_income = current, current_income
+        for coin in self.specs:
+            if coin == current:
+                continue
+            income = self._income_rate(miner, coin, assignment, chains, now, joining=True)
+            if income > best_income:
+                best_coin, best_income = coin, income
+        if best_coin == current:
+            return None
+        if current_income > 0 and (best_income - current_income) < self.switch_threshold * current_income:
+            return None
+        assignment[miner_name] = best_coin
+        switches.append(
+            SwitchEvent(time_h=now, miner=miner_name, source=current, target=best_coin)
+        )
+        return (current, best_coin)
+
+    def _record_shares(
+        self, shares: Dict[str, List[float]], assignment: Dict[str, str]
+    ) -> None:
+        total = sum(miner.power for miner in self.miners.values())
+        for coin in self.specs:
+            on_coin = sum(self._powers_on(coin, assignment).values())
+            shares[coin].append(on_coin / total)

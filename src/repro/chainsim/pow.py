@@ -1,0 +1,73 @@
+"""Proof-of-work block lottery.
+
+Block discovery on a PoW chain is memoryless: with total hashpower
+``M`` against difficulty ``D``, the wait to the next block is
+exponential with rate ``M / D`` (in blocks per hour when ``D`` is
+calibrated as hashpower-hours per block), and the finder is each miner
+with probability proportional to its power. This is the physical
+process whose *expectation* is the paper's payoff
+``u_p = m_p · F(c) / M_c`` — the chain simulator lets experiments
+measure how fast realized rewards concentrate around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class LotteryDraw:
+    """One block event: when it was found and by whom."""
+
+    wait_h: float
+    winner: str
+
+
+class BlockLottery:
+    """Samples block arrival times and winners for one coin."""
+
+    def __init__(self, seed: RngLike = None):
+        self._rng = make_rng(seed)
+
+    def draw(
+        self,
+        powers: Dict[str, float],
+        difficulty: float,
+    ) -> Optional[LotteryDraw]:
+        """Sample the next block given per-miner powers and difficulty.
+
+        Returns ``None`` when nobody mines the coin (no block will ever
+        be found). ``difficulty`` is hashpower-hours per block: the
+        expected wait is ``difficulty / Σ powers``.
+        """
+        if difficulty <= 0:
+            raise SimulationError(f"difficulty must be positive, got {difficulty}")
+        if any(power < 0 for power in powers.values()):
+            raise SimulationError("mining powers must be non-negative")
+        names = [name for name, power in powers.items() if power > 0]
+        if not names:
+            return None
+        values = np.array([powers[name] for name in names], dtype=float)
+        total = values.sum()
+        wait = float(self._rng.exponential(difficulty / total))
+        winner = names[int(self._rng.choice(len(names), p=values / total))]
+        return LotteryDraw(wait_h=wait, winner=winner)
+
+    def expected_wait_h(self, total_power: float, difficulty: float) -> float:
+        """Mean block interval for the given hashpower and difficulty."""
+        if total_power <= 0:
+            raise SimulationError("total power must be positive")
+        return difficulty / total_power
+
+
+def calibrated_difficulty(total_power: float, target_interval_h: float) -> float:
+    """The difficulty at which *total_power* hits the target interval."""
+    if total_power <= 0 or target_interval_h <= 0:
+        raise SimulationError("power and target interval must be positive")
+    return total_power * target_interval_h

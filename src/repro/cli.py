@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available experiments with one-line descriptions.
+``run E7 [--seed N] [--fast]``
+    Run one experiment and print its table (``--fast`` shrinks the
+    workload for a quick look).
+``all [--fast]``
+    Run every experiment in order.
+``demo [--miners N] [--coins K] [--seed N]``
+    Generate a random game, converge learning from a random start, and
+    print the equilibrium with payoffs and a basin profile.
+``migrate [--seed N]``
+    Replay the Figure 1 BTC/BCH episode and print sparklines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+
+_DESCRIPTIONS = {
+    "E1": "Figure 1: BTC→BCH hashrate migration (game + chain layers)",
+    "E2": "Theorem 1: better-response learning always converges",
+    "E3": "Proposition 1: no exact potential (cycle defect 2/3)",
+    "E4": "Ordinal potential strictly increases on every step",
+    "E5": "Observation 3 / Claim 4: equilibria are globally optimal",
+    "E6": "Proposition 2: a better equilibrium usually exists",
+    "E7": "Algorithm 2: reward design moves s0 → sf, any learner",
+    "E8": "Manipulation economics: bounded cost, indefinite gain",
+    "E9": "Discussion: convergence speed by learning process",
+    "E10": "Discussion: dominance attacks + staged-vs-naive ablation",
+    "E11": "Extension: asymmetric (hardware-restricted) mining",
+    "E12": "Extension: simultaneous moves cycle; inertia fixes it",
+    "E13": "Extension: equilibrium basins + manipulation planner",
+    "E14": "Extension: exact worst-case learning time (DAG view)",
+}
+
+_FAST_PARAMS = {
+    "E1": dict(horizon_h=160, resolution_h=8, tail_miners=8, chain_miners=12,
+               chain_horizon_h=24),
+    "E2": dict(miner_counts=(5, 10), coin_counts=(2,), runs_per_cell=3),
+    "E3": dict(random_games=5),
+    "E4": dict(games=3, miners=6, coins=3, starts_per_game=2),
+    "E5": dict(games=5, miners=6, coins=2),
+    "E6": dict(games=6, miners=6, coins=2),
+    "E7": dict(miner_counts=(4, 6), coins=2, pairs_per_size=2),
+    "E8": dict(games=4, miners=6, coins=2),
+    "E9": dict(miners=10, coins=3, runs=4, mwu_rounds=80),
+    "E10": dict(games=4, miners=6, coins=2, naive_trials_per_pair=2),
+    "E11": dict(games=4, miners=8, coins=4, starts_per_game=3),
+    "E12": dict(games=4, miners=6, coins=3, starts=6),
+    "E13": dict(games=3, miners=6, coins=2, samples=20),
+    "E14": dict(games=4, miners=4, coins=2, empirical_runs=10),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Game of Coins (ICDCS 2021) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS, key=_experiment_key))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--fast", action="store_true", help="shrunken workload")
+
+    run_all = subparsers.add_parser("all", help="run every experiment")
+    run_all.add_argument("--seed", type=int, default=0)
+    run_all.add_argument("--fast", action="store_true")
+
+    demo = subparsers.add_parser("demo", help="random game walkthrough")
+    demo.add_argument("--miners", type=int, default=8)
+    demo.add_argument("--coins", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=0)
+
+    migrate = subparsers.add_parser("migrate", help="Figure 1 sparkline replay")
+    migrate.add_argument("--seed", type=int, default=2017)
+    return parser
+
+
+def _experiment_key(name: str) -> int:
+    return int(name[1:])
+
+
+def _cmd_list(out) -> int:
+    for name in sorted(ALL_EXPERIMENTS, key=_experiment_key):
+        out.write(f"{name:>4}  {_DESCRIPTIONS[name]}\n")
+    return 0
+
+
+def _cmd_run(name: str, seed: int, fast: bool, out) -> int:
+    params = dict(_FAST_PARAMS[name]) if fast else {}
+    params["seed"] = seed
+    result = ALL_EXPERIMENTS[name](**params)
+    out.write(result.render() + "\n")
+    out.write(f"\nmetrics: {result.metrics}\n")
+    return 0
+
+
+def _cmd_demo(miners: int, coins: int, seed: int, out) -> int:
+    from repro.analysis.basins import basin_profile
+    from repro.analysis.welfare import payoff_distribution
+    from repro.core.factories import random_configuration, random_game
+    from repro.learning.engine import LearningEngine
+
+    game = random_game(miners, coins, seed=seed)
+    out.write(f"{game}\n")
+    start = random_configuration(game, seed=seed + 1)
+    trajectory = LearningEngine().run(game, start, seed=seed + 2)
+    out.write(
+        f"converged in {trajectory.length} steps to {trajectory.final.as_dict()}\n"
+    )
+    out.write("payoffs:\n")
+    for name, payoff in payoff_distribution(game, trajectory.final).items():
+        out.write(f"  {name}: {float(payoff):.3f}\n")
+    profile = basin_profile(game, samples=25, seed=seed + 3)
+    out.write(
+        f"basins: {profile.distinct_equilibria} equilibria reached from 25 starts, "
+        f"entropy {profile.entropy():.2f} bits\n"
+    )
+    return 0
+
+
+def _cmd_migrate(seed: int, out) -> int:
+    from repro.market.scenario import btc_bch_scenario
+    from repro.util.sparkline import labeled_sparkline
+
+    scenario = btc_bch_scenario(horizon_h=240, resolution_h=6, tail_miners=15, seed=seed)
+    replay = scenario.replay(seed=seed + 1)
+    weights = scenario.weight_series()
+    out.write("Figure 1 replay (240 simulated hours, spike at t=96h):\n")
+    out.write(labeled_sparkline("BCH/BTC weight ratio", weights.ratio("BCH", "BTC")) + "\n")
+    out.write(labeled_sparkline("BCH hashrate share", replay.hashrate_share("BCH")) + "\n")
+    out.write(f"coin switches: {replay.total_switches()}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.seed, args.fast, out)
+    if args.command == "all":
+        code = 0
+        for name in sorted(ALL_EXPERIMENTS, key=_experiment_key):
+            out.write(f"\n=== {name} ===\n")
+            code = max(code, _cmd_run(name, args.seed, args.fast, out))
+        return code
+    if args.command == "demo":
+        return _cmd_demo(args.miners, args.coins, args.seed, out)
+    if args.command == "migrate":
+        return _cmd_migrate(args.seed, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

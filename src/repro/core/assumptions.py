@@ -1,0 +1,159 @@
+"""Assumption checkers for Section 4 of the paper.
+
+* **Assumption 1 (never alone).** In every configuration where some coin
+  has at most one miner, *some* miner has a better-response step into
+  that coin. The paper notes this cannot hold when ``|Π| < 2|C|`` and
+  typically holds when miners far outnumber coins.
+* **Assumption 2 (generic game).** No two coin/miner-subset pairs
+  produce equal RPUs: for all coins ``c ≠ c'`` and subsets
+  ``P, P' ⊆ Π``, ``F(c)/Σ_{p∈P} m_p ≠ F(c')/Σ_{p∈P'} m_p``.
+
+Both checks are exponential in general (they quantify over
+configurations / subsets); exact checkers are provided for small games
+and a sampling fallback for large ones. Random games generated with
+:func:`repro.core.factories.random_game` are generic with probability 1
+when powers are drawn with enough entropy — the exact checker is the
+ground truth in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.exceptions import AssumptionViolatedError, InvalidModelError
+from repro.util.rng import RngLike, make_rng
+
+
+def configuration_violates_never_alone(game: Game, config: Configuration) -> bool:
+    """Whether *config* witnesses a violation of Assumption 1.
+
+    A violation is a coin with ≤ 1 miners such that *no* miner has a
+    better-response step into it.
+    """
+    for coin in game.coins:
+        occupants = config.miners_on(coin)
+        if len(occupants) > 1:
+            continue
+        if not any(
+            game.is_better_response(miner, coin, config)
+            for miner in game.miners
+            if config.coin_of(miner) != coin
+        ):
+            return True
+    return False
+
+
+def check_never_alone(
+    game: Game,
+    *,
+    exhaustive_limit: int = 200_000,
+    samples: int = 2_000,
+    seed: RngLike = None,
+) -> bool:
+    """Check Assumption 1 over all configurations (or a random sample).
+
+    Exhaustive when the configuration space is at most
+    ``exhaustive_limit``; otherwise samples configurations uniformly.
+    The sampled check can only *refute* the assumption with certainty;
+    a ``True`` result from sampling is evidence, not proof.
+    """
+    if game.configuration_count() <= exhaustive_limit:
+        return not any(
+            configuration_violates_never_alone(game, config)
+            for config in game.all_configurations()
+        )
+    rng = make_rng(seed)
+    coins = game.coins
+    for _ in range(samples):
+        choices = [coins[int(index)] for index in rng.integers(0, len(coins), len(game.miners))]
+        config = Configuration(game.miners, choices)
+        if configuration_violates_never_alone(game, config):
+            return False
+    return True
+
+
+def _subset_sums(game: Game) -> Set[Fraction]:
+    """All nonzero subset sums of mining powers (2^n; small games only)."""
+    powers = [miner.power for miner in game.miners]
+    sums: Set[Fraction] = set()
+    for size in range(1, len(powers) + 1):
+        for subset in itertools.combinations(powers, size):
+            sums.add(sum(subset, Fraction(0)))
+    return sums
+
+
+def check_generic(game: Game, *, max_miners: int = 18) -> bool:
+    """Exactly check Assumption 2 by comparing all subset-sum RPU ratios.
+
+    The condition ``F(c)/Σ_P m ≠ F(c')/Σ_{P'} m`` for all ``c ≠ c'`` is
+    equivalent to: no value appears in the RPU sets of two different
+    coins, where coin ``c``'s RPU set is ``{F(c)/σ : σ a nonzero subset
+    sum}``. Exact ``Fraction`` arithmetic makes the comparison sound.
+    Refuses games with more than *max_miners* miners (the subset count
+    is ``2^n``).
+    """
+    if len(game.miners) > max_miners:
+        raise InvalidModelError(
+            f"exact genericity check is exponential; game has {len(game.miners)} miners "
+            f"(limit {max_miners}) — use generic-by-construction powers instead"
+        )
+    sums = sorted(_subset_sums(game))
+    seen: Dict[Fraction, object] = {}
+    for coin in game.coins:
+        reward = game.rewards[coin]
+        for sigma in sums:
+            value = reward / sigma
+            owner = seen.get(value)
+            if owner is None:
+                seen[value] = coin
+            elif owner != coin:
+                return False
+    return True
+
+
+def find_genericity_violation(
+    game: Game, *, max_miners: int = 18
+) -> Optional[Tuple[Fraction, str, str]]:
+    """A witness ``(value, coin, coin')`` of an Assumption 2 violation.
+
+    Returns ``None`` when the game is generic. Same complexity bound as
+    :func:`check_generic`.
+    """
+    if len(game.miners) > max_miners:
+        raise InvalidModelError(
+            f"exact genericity check is exponential; game has {len(game.miners)} miners"
+        )
+    sums = sorted(_subset_sums(game))
+    seen: Dict[Fraction, str] = {}
+    for coin in game.coins:
+        reward = game.rewards[coin]
+        for sigma in sums:
+            value = reward / sigma
+            owner = seen.get(value)
+            if owner is None:
+                seen[value] = coin.name
+            elif owner != coin.name:
+                return value, owner, coin.name
+    return None
+
+
+def require_section4_assumptions(game: Game, *, seed: RngLike = None) -> None:
+    """Raise :class:`AssumptionViolatedError` unless A1 and A2 hold.
+
+    Used by the Section 4 helpers (:mod:`repro.manipulation`) as a
+    guard; for large games the A1 check is sampled (see
+    :func:`check_never_alone`).
+    """
+    if len(game.miners) < 2 * len(game.coins):
+        raise AssumptionViolatedError(
+            f"Assumption 1 cannot hold with {len(game.miners)} miners and "
+            f"{len(game.coins)} coins (need |Π| ≥ 2|C|)"
+        )
+    if not check_never_alone(game, seed=seed):
+        raise AssumptionViolatedError("game violates Assumption 1 (never alone)")
+    if len(game.miners) <= 18 and not check_generic(game):
+        raise AssumptionViolatedError("game violates Assumption 2 (genericity)")

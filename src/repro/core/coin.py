@@ -1,0 +1,177 @@
+"""Coins (resources) and reward functions ``F : C → R+``.
+
+A coin is just an identity; its economic weight lives in a
+:class:`RewardFunction`, matching the paper's separation between the
+system ``⟨Π, C⟩`` and the game ``G_{Π,C,F}``. Reward functions are
+immutable; the reward design mechanism builds *new* reward functions
+rather than mutating the base one, which mirrors Algorithm 1's
+"temporarily increase coin weights, then revert".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro._numeric import Number, to_fraction, to_positive_fraction
+from repro.exceptions import InvalidModelError
+
+
+@dataclass(frozen=True)
+class Coin:
+    """A coin (resource) identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise InvalidModelError(f"coin name must be a non-empty string, got {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"Coin({self.name!r})"
+
+
+def make_coins(names: Iterable[str]) -> Tuple[Coin, ...]:
+    """Create coins from names, rejecting duplicates."""
+    coins = tuple(Coin(name) for name in names)
+    if not coins:
+        raise InvalidModelError("a game needs at least one coin")
+    seen = set()
+    for coin in coins:
+        if coin.name in seen:
+            raise InvalidModelError(f"duplicate coin name {coin.name!r}")
+        seen.add(coin.name)
+    return coins
+
+
+class RewardFunction:
+    """An immutable mapping from coins to strictly positive rewards.
+
+    Supports lookup by :class:`Coin` or by coin name. Derived reward
+    functions (used by the reward design mechanism) are produced with
+    :meth:`replacing` and :meth:`boosted`.
+    """
+
+    __slots__ = ("_rewards",)
+
+    def __init__(self, rewards: Mapping[Coin, Number], *, allow_zero: bool = False):
+        converted: Dict[Coin, Fraction] = {}
+        for coin, reward in rewards.items():
+            if not isinstance(coin, Coin):
+                raise InvalidModelError(f"reward keys must be Coin, got {type(coin).__name__}")
+            if allow_zero:
+                value = to_fraction(reward, name=f"reward of {coin.name!r}")
+                if value < 0:
+                    raise InvalidModelError(
+                        f"reward of {coin.name!r} must be non-negative, got {reward!r}"
+                    )
+                converted[coin] = value
+            else:
+                converted[coin] = to_positive_fraction(reward, name=f"reward of {coin.name!r}")
+        if not converted:
+            raise InvalidModelError("a reward function must cover at least one coin")
+        self._rewards = converted
+
+    @classmethod
+    def allowing_zero(cls, rewards: Mapping[Coin, Number]) -> "RewardFunction":
+        """Build a reward function that may assign zero to some coins.
+
+        The paper's designed rewards (Eq. 4) zero out unoccupied coins;
+        organic reward functions ``F : C → R+`` stay strictly positive,
+        so the permissive constructor is opt-in.
+        """
+        return cls(rewards, allow_zero=True)
+
+    @classmethod
+    def from_values(cls, coins: Sequence[Coin], values: Sequence[Number]) -> "RewardFunction":
+        """Zip parallel sequences of coins and reward values."""
+        if len(coins) != len(values):
+            raise InvalidModelError(
+                f"{len(coins)} coins but {len(values)} reward values"
+            )
+        return cls(dict(zip(coins, values)))
+
+    @classmethod
+    def constant(cls, coins: Sequence[Coin], value: Number = 1) -> "RewardFunction":
+        """The symmetric case of Appendix B: every coin has equal reward."""
+        return cls({coin: value for coin in coins})
+
+    def __getitem__(self, coin: Coin) -> Fraction:
+        try:
+            return self._rewards[coin]
+        except KeyError:
+            raise InvalidModelError(f"coin {coin.name!r} is not covered by this reward function")
+
+    def get_by_name(self, name: str) -> Fraction:
+        """Look a reward up by coin name (for reporting code)."""
+        for coin, reward in self._rewards.items():
+            if coin.name == name:
+                return reward
+        raise InvalidModelError(f"no coin named {name!r} in this reward function")
+
+    def __contains__(self, coin: Coin) -> bool:
+        return coin in self._rewards
+
+    def __iter__(self) -> Iterator[Coin]:
+        return iter(self._rewards)
+
+    def __len__(self) -> int:
+        return len(self._rewards)
+
+    def items(self) -> Iterable[Tuple[Coin, Fraction]]:
+        return self._rewards.items()
+
+    def coins(self) -> Tuple[Coin, ...]:
+        return tuple(self._rewards)
+
+    def total(self) -> Fraction:
+        """Sum of all coin rewards — the welfare bound of Observation 3."""
+        return sum(self._rewards.values(), Fraction(0))
+
+    def max_reward(self) -> Fraction:
+        """``max{F(c) | c ∈ C}`` (used by the stage-1 design, Eq. 5)."""
+        return max(self._rewards.values())
+
+    def replacing(self, overrides: Mapping[Coin, Number]) -> "RewardFunction":
+        """A new reward function with some coins' rewards replaced."""
+        merged: Dict[Coin, Number] = dict(self._rewards)
+        for coin, value in overrides.items():
+            if coin not in self._rewards:
+                raise InvalidModelError(
+                    f"cannot override reward of unknown coin {coin.name!r}"
+                )
+            merged[coin] = value
+        return RewardFunction(merged)
+
+    def boosted(self, coin: Coin, extra: Number) -> "RewardFunction":
+        """A new reward function with ``extra`` added to one coin's reward.
+
+        This is the "whale transaction" primitive: the manipulator can
+        only *add* weight, never remove it.
+        """
+        extra_frac = to_positive_fraction(extra, name="extra reward")
+        return self.replacing({coin: self[coin] + extra_frac})
+
+    def dominates(self, other: "RewardFunction") -> bool:
+        """Whether ``self(c) ≥ other(c)`` for every coin.
+
+        Algorithm 1 (line 3) requires each designed reward function to
+        dominate the base one; :class:`repro.design` checks this with
+        :meth:`dominates` in its feasible mode.
+        """
+        if set(self._rewards) != set(other._rewards):
+            return False
+        return all(self._rewards[coin] >= other._rewards[coin] for coin in self._rewards)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RewardFunction):
+            return NotImplemented
+        return self._rewards == other._rewards
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._rewards.items()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{coin.name}={reward}" for coin, reward in self._rewards.items())
+        return f"RewardFunction({parts})"

@@ -1,0 +1,122 @@
+"""Configurations: one coin choice per miner.
+
+A configuration ``s ∈ S = C^n`` assigns every miner a coin (paper,
+Section 2). Configurations are immutable value objects; a better-response
+step produces a *new* configuration via :meth:`Configuration.move`,
+matching the paper's ``(s_{-p}, c)`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.core.coin import Coin
+from repro.core.miner import Miner
+from repro.exceptions import InvalidConfigurationError
+
+
+class Configuration:
+    """An immutable assignment of miners to coins.
+
+    Internally a tuple of coins aligned with a fixed miner ordering; the
+    public API is name/object based. Equality and hashing make
+    configurations usable as dict keys (the potential-rank code and the
+    equilibrium enumerator rely on this).
+    """
+
+    __slots__ = ("_miners", "_choices", "_index")
+
+    def __init__(self, miners: Sequence[Miner], choices: Sequence[Coin]):
+        if len(miners) != len(choices):
+            raise InvalidConfigurationError(
+                f"{len(miners)} miners but {len(choices)} coin choices"
+            )
+        if not miners:
+            raise InvalidConfigurationError("a configuration needs at least one miner")
+        self._miners: Tuple[Miner, ...] = tuple(miners)
+        self._choices: Tuple[Coin, ...] = tuple(choices)
+        self._index: Dict[Miner, int] = {miner: i for i, miner in enumerate(self._miners)}
+        if len(self._index) != len(self._miners):
+            raise InvalidConfigurationError("duplicate miners in configuration")
+
+    @classmethod
+    def from_mapping(
+        cls, miners: Sequence[Miner], assignment: Mapping[Miner, Coin]
+    ) -> "Configuration":
+        """Build a configuration from a ``{miner: coin}`` mapping."""
+        try:
+            choices = [assignment[miner] for miner in miners]
+        except KeyError as missing:
+            raise InvalidConfigurationError(f"assignment misses miner {missing.args[0]!r}")
+        return cls(miners, choices)
+
+    @classmethod
+    def uniform(cls, miners: Sequence[Miner], coin: Coin) -> "Configuration":
+        """All miners on a single coin (the end state of design stage 1)."""
+        return cls(miners, [coin] * len(miners))
+
+    @property
+    def miners(self) -> Tuple[Miner, ...]:
+        return self._miners
+
+    @property
+    def choices(self) -> Tuple[Coin, ...]:
+        return self._choices
+
+    def coin_of(self, miner: Miner) -> Coin:
+        """The coin miner ``p`` mines in this configuration (``s.p``)."""
+        try:
+            return self._choices[self._index[miner]]
+        except KeyError:
+            raise InvalidConfigurationError(f"miner {miner.name!r} is not in this configuration")
+
+    def move(self, miner: Miner, coin: Coin) -> "Configuration":
+        """The configuration ``(s_{-p}, c)``: identical except miner → coin."""
+        try:
+            position = self._index[miner]
+        except KeyError:
+            raise InvalidConfigurationError(f"miner {miner.name!r} is not in this configuration")
+        if self._choices[position] == coin:
+            return self
+        choices = list(self._choices)
+        choices[position] = coin
+        return Configuration(self._miners, choices)
+
+    def miners_on(self, coin: Coin) -> Tuple[Miner, ...]:
+        """``P_c(s)``: the miners who mine coin *c* in this configuration."""
+        return tuple(
+            miner for miner, choice in zip(self._miners, self._choices) if choice == coin
+        )
+
+    def occupied_coins(self) -> Tuple[Coin, ...]:
+        """The coins chosen by at least one miner, in first-seen order."""
+        seen = []
+        for choice in self._choices:
+            if choice not in seen:
+                seen.append(choice)
+        return tuple(seen)
+
+    def as_dict(self) -> Dict[str, str]:
+        """A ``{miner name: coin name}`` snapshot for logging/reports."""
+        return {miner.name: coin.name for miner, coin in zip(self._miners, self._choices)}
+
+    def items(self) -> Iterable[Tuple[Miner, Coin]]:
+        return zip(self._miners, self._choices)
+
+    def __iter__(self) -> Iterator[Tuple[Miner, Coin]]:
+        return iter(zip(self._miners, self._choices))
+
+    def __len__(self) -> int:
+        return len(self._miners)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._miners == other._miners and self._choices == other._choices
+
+    def __hash__(self) -> int:
+        return hash((self._miners, self._choices))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{miner.name}→{coin.name}" for miner, coin in self)
+        return f"Configuration({body})"

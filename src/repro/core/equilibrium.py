@@ -1,0 +1,167 @@
+"""Equilibrium toolkit (paper, Appendix A and Section 4 / Appendix D).
+
+* :func:`greedy_equilibrium` — the constructive existence proof of
+  Proposition 3: insert miners in decreasing power order, each to the
+  coin maximizing its payoff given earlier insertions (Claim 6 shows
+  each insertion preserves the stability of everyone placed so far).
+* :func:`enumerate_equilibria` — brute-force enumeration of all pure
+  equilibria (exponential; small games only).
+* :func:`two_distinct_equilibria` — Lemma 2's inductive construction of
+  two different stable configurations for games satisfying
+  Assumptions 1 and 2.
+* :func:`best_insertion_coin` — the ``argmax_c F(c)·m/(M_c(s)+m)``
+  selector shared by the constructions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.coin import Coin
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner, sorted_by_power
+from repro.exceptions import InvalidModelError
+
+
+def best_insertion_coin(
+    game: Game,
+    partial: Optional[Configuration],
+    miner: Miner,
+) -> Coin:
+    """``argmax_{c'∈C} F(c')·m_p/(M_{c'}(s)+m_p)`` over the partial state.
+
+    *partial* is a configuration over a subset of the game's miners (or
+    ``None`` for the empty state). Ties are broken by coin order, which
+    makes the greedy construction deterministic.
+    """
+    best_coin: Optional[Coin] = None
+    best_value: Optional[Fraction] = None
+    for coin in game.coins:
+        occupied = Fraction(0)
+        if partial is not None:
+            occupied = sum(
+                (other.power for other in partial.miners_on(coin)), Fraction(0)
+            )
+        value = game.rewards[coin] * miner.power / (occupied + miner.power)
+        if best_value is None or value > best_value:
+            best_value = value
+            best_coin = coin
+    assert best_coin is not None
+    return best_coin
+
+
+def greedy_equilibrium(game: Game) -> Configuration:
+    """A pure equilibrium built by the Appendix A construction.
+
+    Miners are processed in decreasing power order; each picks its best
+    coin given the miners already placed. Claim 6 proves every placed
+    miner stays stable after each insertion, so the final configuration
+    is stable — for *any* ``Π``, ``C`` and ``F``.
+    """
+    ordered = sorted_by_power(game.miners)
+    partial: Optional[Configuration] = None
+    placed: List[Miner] = []
+    choices: List[Coin] = []
+    for miner in ordered:
+        coin = best_insertion_coin(game, partial, miner)
+        placed.append(miner)
+        choices.append(coin)
+        partial = Configuration(placed, choices)
+    assert partial is not None
+    # Re-express over the game's own miner order.
+    assignment = {miner: coin for miner, coin in partial}
+    return Configuration.from_mapping(game.miners, assignment)
+
+
+def enumerate_equilibria(game: Game, *, limit: Optional[int] = None) -> List[Configuration]:
+    """All pure equilibria of the game, by exhaustive search.
+
+    ``limit`` caps the number of *configurations scanned* (not
+    equilibria found) as a safety valve; exceeding it raises
+    :class:`InvalidModelError` so callers never silently get a partial
+    answer.
+    """
+    count = game.configuration_count()
+    if limit is not None and count > limit:
+        raise InvalidModelError(
+            f"game has {count} configurations, above the scan limit {limit}; "
+            "enumeration is only for small games"
+        )
+    return [config for config in game.all_configurations() if game.is_stable(config)]
+
+
+def iter_equilibria(game: Game) -> Iterator[Configuration]:
+    """Lazily iterate pure equilibria (exhaustive scan order)."""
+    for config in game.all_configurations():
+        if game.is_stable(config):
+            yield config
+
+
+def two_distinct_equilibria(game: Game) -> Tuple[Configuration, Configuration]:
+    """Two different stable configurations, via Lemma 2's construction.
+
+    Seeds the two largest miners on the two largest-reward coins in the
+    two possible swapped orders, then extends both seeds greedily
+    (Claim 5 keeps placed miners stable). For games satisfying
+    Assumptions 1 and 2 both results are stable; this function verifies
+    stability and raises :class:`InvalidModelError` if either fails
+    (which can only happen when the assumptions do not hold).
+    """
+    ordered = sorted_by_power(game.miners)
+    if len(ordered) < 2:
+        raise InvalidModelError("two equilibria need at least two miners")
+    if len(game.coins) < 2:
+        raise InvalidModelError("two equilibria need at least two coins")
+    coins_by_reward = sorted(
+        game.coins, key=lambda coin: (-game.rewards[coin], coin.name)
+    )
+    c1, c2 = coins_by_reward[0], coins_by_reward[1]
+    p1, p2 = ordered[0], ordered[1]
+
+    results: List[Configuration] = []
+    for seed_choices in ((c1, c2), (c2, c1)):
+        placed = [p1, p2]
+        choices = list(seed_choices)
+        partial = Configuration(placed, choices)
+        for miner in ordered[2:]:
+            coin = best_insertion_coin(game, partial, miner)
+            placed.append(miner)
+            choices.append(coin)
+            partial = Configuration(placed, choices)
+        assignment = {miner: coin for miner, coin in partial}
+        results.append(Configuration.from_mapping(game.miners, assignment))
+
+    first, second = results
+    if first == second:
+        raise InvalidModelError(
+            "Lemma 2 construction collapsed to one configuration; "
+            "the game likely violates Assumption 1 or 2"
+        )
+    for config in results:
+        if not game.is_stable(config):
+            raise InvalidModelError(
+                "Lemma 2 construction produced an unstable configuration; "
+                "the game likely violates Assumption 1 or 2"
+            )
+    return first, second
+
+
+def equilibrium_payoff_spread(
+    game: Game, equilibria: List[Configuration]
+) -> Tuple[Fraction, Fraction]:
+    """(min, max) of any miner's payoff across the given equilibria.
+
+    A quick summary statistic used by the Section 4 experiments: a
+    nonzero spread for some miner is what makes manipulation profitable.
+    """
+    if not equilibria:
+        raise InvalidModelError("need at least one equilibrium")
+    lows: List[Fraction] = []
+    highs: List[Fraction] = []
+    for miner in game.miners:
+        payoffs = [game.payoff(miner, config) for config in equilibria]
+        lows.append(min(payoffs))
+        highs.append(max(payoffs))
+    return min(lows), max(highs)

@@ -1,0 +1,78 @@
+"""Miners: the strategic players of the Game of Coins.
+
+A miner is an identity plus a strictly positive mining power
+``m_p ∈ R+`` (paper, Section 2). Powers are stored as exact
+:class:`fractions.Fraction` so payoff comparisons are never corrupted by
+floating-point ties (see :mod:`repro._numeric`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence, Tuple
+
+from repro._numeric import Number, to_positive_fraction
+from repro.exceptions import InvalidModelError
+
+
+@dataclass(frozen=True, order=False)
+class Miner:
+    """A miner (player) with a name and a strictly positive mining power.
+
+    Instances are immutable and hashable; identity is the pair
+    ``(name, power)``. Two miners in one game must have distinct names.
+    """
+
+    name: str
+    power: Fraction
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise InvalidModelError(f"miner name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.power, Fraction):
+            object.__setattr__(self, "power", to_positive_fraction(self.power, name="power"))
+        elif self.power <= 0:
+            raise InvalidModelError(f"miner {self.name!r} must have positive power, got {self.power}")
+
+    @classmethod
+    def of(cls, name: str, power: Number) -> "Miner":
+        """Build a miner converting *power* to an exact fraction."""
+        return cls(name, to_positive_fraction(power, name=f"power of miner {name!r}"))
+
+    def __repr__(self) -> str:
+        return f"Miner({self.name!r}, power={self.power})"
+
+
+def make_miners(powers: Iterable[Number], prefix: str = "p") -> Tuple[Miner, ...]:
+    """Create miners ``p1, p2, ...`` from an iterable of powers.
+
+    Names follow the paper's indexing (1-based). Powers are converted to
+    exact fractions; the order of *powers* is preserved.
+    """
+    miners = tuple(
+        Miner.of(f"{prefix}{index}", power) for index, power in enumerate(powers, start=1)
+    )
+    if not miners:
+        raise InvalidModelError("a game needs at least one miner")
+    return miners
+
+
+def sorted_by_power(miners: Sequence[Miner]) -> Tuple[Miner, ...]:
+    """Return miners sorted by decreasing power (ties broken by name).
+
+    Sections 4 and 5 of the paper index miners so that
+    ``m_p1 ≥ m_p2 ≥ … ≥ m_pn``; this helper produces that ordering.
+    """
+    return tuple(sorted(miners, key=lambda miner: (-miner.power, miner.name)))
+
+
+def has_strictly_decreasing_powers(miners: Sequence[Miner]) -> bool:
+    """Whether powers are strictly decreasing in the given order.
+
+    Section 5's reward design mechanism requires
+    ``m_p1 > m_p2 > … > m_pn`` (strict); this predicate checks it.
+    """
+    return all(
+        miners[index].power > miners[index + 1].power for index in range(len(miners) - 1)
+    )

@@ -1,0 +1,239 @@
+"""The asymmetric case: coins mineable only by subsets of miners.
+
+The paper's discussion closes with: *"One also may wonder about the
+asymmetric case where some coins can be mined only by a subset of the
+miners."* In practice this is hardware: an SHA256d ASIC cannot mine a
+Scrypt coin. This module implements that extension:
+
+* :class:`RestrictedGame` wraps a base game with per-miner allowed coin
+  sets and re-derives the strategic structure (better responses,
+  stability) under the restriction.
+* Theorem 1 *survives* the restriction: the ordinal potential argument
+  (Observations 1–2) never uses the ability of any particular miner to
+  make any particular move — restricting strategy sets only removes
+  edges from the improvement graph, so `rank(list(s))` still strictly
+  increases along every legal better-response step. E11 verifies this
+  empirically; :func:`restricted_potential_compare` exposes the
+  comparison.
+* Equilibrium existence also survives (the Appendix A construction
+  inserts each miner at its best *allowed* coin;
+  :func:`greedy_restricted_equilibrium`). The proof of Claim 6 carries
+  over verbatim because an inserted miner only makes other coins'
+  crowds larger, never smaller — but *only* when every pair of miners
+  shares comparable options; with disjoint hardware classes the claim
+  still holds coin-class by coin-class.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.coin import Coin
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner, sorted_by_power
+from repro.core.potential import compare_potential
+from repro.exceptions import InvalidConfigurationError, InvalidModelError
+
+
+class RestrictedGame:
+    """A game plus per-miner allowed coin sets (hardware compatibility).
+
+    The payoff structure is the base game's; only the *strategy sets*
+    shrink. Every miner must be allowed at least one coin, and a
+    configuration is valid only if each miner sits on an allowed coin.
+    """
+
+    __slots__ = ("_game", "_allowed")
+
+    def __init__(self, game: Game, allowed: Mapping[Miner, Sequence[Coin]]):
+        self._game = game
+        converted: Dict[Miner, Tuple[Coin, ...]] = {}
+        for miner in game.miners:
+            if miner not in allowed:
+                raise InvalidModelError(
+                    f"restriction misses miner {miner.name!r}; every miner "
+                    "needs an explicit allowed set"
+                )
+            coins = tuple(dict.fromkeys(allowed[miner]))
+            if not coins:
+                raise InvalidModelError(
+                    f"miner {miner.name!r} must be allowed at least one coin"
+                )
+            for coin in coins:
+                if coin not in set(game.coins):
+                    raise InvalidModelError(
+                        f"miner {miner.name!r} is allowed unknown coin {coin.name!r}"
+                    )
+            converted[miner] = coins
+        self._allowed = converted
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def by_algorithm(
+        cls,
+        game: Game,
+        coin_algorithms: Mapping[str, str],
+        miner_hardware: Mapping[str, str],
+    ) -> "RestrictedGame":
+        """Build restrictions from hardware classes.
+
+        ``coin_algorithms`` maps coin name → PoW algorithm;
+        ``miner_hardware`` maps miner name → the algorithm its rigs run.
+        A miner may mine exactly the coins matching its hardware.
+        """
+        allowed: Dict[Miner, List[Coin]] = {}
+        for miner in game.miners:
+            if miner.name not in miner_hardware:
+                raise InvalidModelError(f"no hardware class for miner {miner.name!r}")
+            algorithm = miner_hardware[miner.name]
+            coins = [
+                coin
+                for coin in game.coins
+                if coin_algorithms.get(coin.name) == algorithm
+            ]
+            allowed[miner] = coins
+        return cls(game, allowed)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def game(self) -> Game:
+        return self._game
+
+    @property
+    def miners(self) -> Tuple[Miner, ...]:
+        return self._game.miners
+
+    @property
+    def coins(self) -> Tuple[Coin, ...]:
+        return self._game.coins
+
+    def allowed_coins(self, miner: Miner) -> Tuple[Coin, ...]:
+        try:
+            return self._allowed[miner]
+        except KeyError:
+            raise InvalidModelError(f"miner {miner.name!r} is not in this game")
+
+    def is_allowed(self, miner: Miner, coin: Coin) -> bool:
+        return coin in self._allowed.get(miner, ())
+
+    def validate_configuration(self, config: Configuration) -> None:
+        """Base-game validity plus the restriction constraint."""
+        self._game.validate_configuration(config)
+        for miner, coin in config:
+            if not self.is_allowed(miner, coin):
+                raise InvalidConfigurationError(
+                    f"miner {miner.name!r} sits on {coin.name!r} which its "
+                    "hardware cannot mine"
+                )
+
+    # ------------------------------------------------------------------
+    # Strategic structure under the restriction
+    # ------------------------------------------------------------------
+
+    def better_response_moves(
+        self, miner: Miner, config: Configuration
+    ) -> Tuple[Coin, ...]:
+        """The base game's improving moves, filtered to allowed coins."""
+        return tuple(
+            coin
+            for coin in self._game.better_response_moves(miner, config)
+            if self.is_allowed(miner, coin)
+        )
+
+    def best_response(self, miner: Miner, config: Configuration) -> Optional[Coin]:
+        moves = self.better_response_moves(miner, config)
+        if not moves:
+            return None
+        return max(
+            moves,
+            key=lambda coin: (
+                self._game.payoff_after_move(miner, coin, config),
+                coin.name,
+            ),
+        )
+
+    def is_miner_stable(self, miner: Miner, config: Configuration) -> bool:
+        return not self.better_response_moves(miner, config)
+
+    def is_stable(self, config: Configuration) -> bool:
+        return all(self.is_miner_stable(miner, config) for miner in self.miners)
+
+    def unstable_miners(self, config: Configuration) -> Tuple[Miner, ...]:
+        return tuple(
+            miner
+            for miner in self.miners
+            if not self.is_miner_stable(miner, config)
+        )
+
+    def payoff(self, miner: Miner, config: Configuration) -> Fraction:
+        return self._game.payoff(miner, config)
+
+    # ------------------------------------------------------------------
+
+    def greedy_equilibrium(self) -> Configuration:
+        """Appendix A's construction restricted to allowed coins.
+
+        Miners are inserted in decreasing power order, each to its best
+        *allowed* coin given earlier insertions. The result is stable in
+        the restricted game for the same reason as Claim 6: later
+        insertions only increase crowds.
+        """
+        ordered = sorted_by_power(self.miners)
+        placed: List[Miner] = []
+        choices: List[Coin] = []
+        partial: Optional[Configuration] = None
+        for miner in ordered:
+            best_coin: Optional[Coin] = None
+            best_value: Optional[Fraction] = None
+            for coin in self.allowed_coins(miner):
+                occupied = Fraction(0)
+                if partial is not None:
+                    occupied = sum(
+                        (other.power for other in partial.miners_on(coin)),
+                        Fraction(0),
+                    )
+                value = self._game.rewards[coin] * miner.power / (occupied + miner.power)
+                if best_value is None or value > best_value:
+                    best_value = value
+                    best_coin = coin
+            assert best_coin is not None
+            placed.append(miner)
+            choices.append(best_coin)
+            partial = Configuration(placed, choices)
+        assert partial is not None
+        assignment = {miner: coin for miner, coin in partial}
+        return Configuration.from_mapping(self.miners, assignment)
+
+    def compare_potential(self, first: Configuration, second: Configuration) -> int:
+        """The base game's ordinal potential — still valid here.
+
+        Restricting strategy sets removes improvement edges but changes
+        no payoffs, so the same ``rank(list(s))`` strictly increases on
+        every *legal* better-response step.
+        """
+        return compare_potential(self._game, first, second)
+
+    def __repr__(self) -> str:
+        restricted = sum(
+            1 for miner in self.miners if len(self._allowed[miner]) < len(self.coins)
+        )
+        return (
+            f"RestrictedGame({self._game!r}, {restricted}/{len(self.miners)} "
+            "miners restricted)"
+        )
+
+
+def restricted_potential_compare(
+    restricted: RestrictedGame, first: Configuration, second: Configuration
+) -> int:
+    """Module-level alias of :meth:`RestrictedGame.compare_potential`."""
+    return restricted.compare_potential(first, second)
+
+
+def greedy_restricted_equilibrium(restricted: RestrictedGame) -> Configuration:
+    """Module-level alias of :meth:`RestrictedGame.greedy_equilibrium`."""
+    return restricted.greedy_equilibrium()

@@ -1,0 +1,40 @@
+"""Dynamic reward design (paper Section 5): mechanism, stages, costs, baselines."""
+
+from repro.design.cost import CostLedger, PhaseCost, phase_cost
+from repro.design.mechanism import DynamicRewardDesign, MechanismResult, StageReport
+from repro.design.naive import (
+    NaiveResult,
+    proportional_boost_design,
+    single_shot_design,
+)
+from repro.design.reward_design import stage1_rewards, stage_rewards
+from repro.design.stages import (
+    anchor_index,
+    in_stage_set,
+    intermediate_configuration,
+    mover_index,
+    ordered_miners,
+    progress_rank,
+    progress_vector,
+)
+
+__all__ = [
+    "CostLedger",
+    "PhaseCost",
+    "phase_cost",
+    "DynamicRewardDesign",
+    "MechanismResult",
+    "StageReport",
+    "NaiveResult",
+    "proportional_boost_design",
+    "single_shot_design",
+    "stage1_rewards",
+    "stage_rewards",
+    "anchor_index",
+    "in_stage_set",
+    "intermediate_configuration",
+    "mover_index",
+    "ordered_miners",
+    "progress_rank",
+    "progress_vector",
+]

@@ -1,0 +1,92 @@
+"""Manipulation-cost accounting for the reward design mechanism.
+
+Algorithm 1's selling point is that the manipulator pays a *bounded*
+cost (rewards are inflated only while learning converges) and then
+enjoys the better equilibrium indefinitely. This module makes that cost
+measurable: each learning phase holds a designed reward function for a
+number of rounds, and the manipulator pays the excess
+``max(H(c) − F(c), 0)`` per coin per round.
+
+Rounds are an abstract time unit — one better-response step plus one
+settling round per phase. The market layer
+(:mod:`repro.manipulation.whale`) converts rounds and excess reward to
+concrete fee spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List
+
+from repro.core.coin import RewardFunction
+from repro.core.game import Game
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Cost of holding one designed reward function for one learning phase."""
+
+    stage: int
+    iteration: int
+    #: Sum over coins of max(H(c) − F(c), 0): excess reward paid per round.
+    excess_per_round: Fraction
+    #: Number of rounds the designed rewards were held (steps + 1).
+    rounds: int
+
+    @property
+    def total(self) -> Fraction:
+        return self.excess_per_round * self.rounds
+
+
+def phase_cost(
+    game: Game,
+    designed: RewardFunction,
+    *,
+    stage: int,
+    iteration: int,
+    steps: int,
+) -> PhaseCost:
+    """Build a :class:`PhaseCost` for one phase of *steps* learning steps."""
+    base = game.rewards
+    excess = Fraction(0)
+    for coin in game.coins:
+        delta = designed[coin] - base[coin]
+        if delta > 0:
+            excess += delta
+    return PhaseCost(
+        stage=stage,
+        iteration=iteration,
+        excess_per_round=excess,
+        rounds=steps + 1,
+    )
+
+
+@dataclass
+class CostLedger:
+    """All phase costs of one mechanism run, with summary statistics."""
+
+    phases: List[PhaseCost] = field(default_factory=list)
+
+    def add(self, cost: PhaseCost) -> None:
+        self.phases.append(cost)
+
+    def total(self) -> Fraction:
+        """Total excess reward paid across the whole mechanism run."""
+        return sum((phase.total for phase in self.phases), Fraction(0))
+
+    def peak_excess_per_round(self) -> Fraction:
+        """The largest per-round boost any single phase required.
+
+        Stage 1 dominates: it must out-bid every coin at once. This is
+        the manipulator's working-capital requirement.
+        """
+        if not self.phases:
+            return Fraction(0)
+        return max(phase.excess_per_round for phase in self.phases)
+
+    def total_rounds(self) -> int:
+        return sum(phase.rounds for phase in self.phases)
+
+    def phase_count(self) -> int:
+        return len(self.phases)

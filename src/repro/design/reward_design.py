@@ -1,0 +1,124 @@
+"""The reward design functions ``H_1`` and ``H_i`` (paper Eqs. 4–5).
+
+Stage 1 gives the destination coin a reward so large that the unique
+equilibrium has *every* miner on it. Stages ``i > 1`` use the
+mover/anchor construction: even out all RPUs at ``R(s)`` (the maximum
+RPU of the current configuration under the *base* rewards) and lift the
+destination's reward to ``R(s)·(M_dest(s) + m_anchor)`` — exactly high
+enough that the mover strictly gains by joining while the anchor and
+every larger miner would not.
+
+Two faithful-vs-feasible notes, recorded here and in DESIGN.md:
+
+* **Stage 1 magnitude.** Eq. 5 uses ``max F · Σ m_p``, which is
+  sufficient only when every mining power is ≥ 1 (the paper's "powers
+  in billions of hashes" convention). We use the scale-invariant
+  ``2 · max F · Σ m_p / min m_p``, which dominates the requirement
+  ``H_1 > max F · Σ m_p / min m_p`` derived from the stage-1 stability
+  analysis for *any* power scale.
+* **Empty coins.** Eq. 4 assigns ``R(s)·M_c(s) = 0`` to unoccupied
+  coins, which contradicts Algorithm 1's side condition
+  ``H(s)(c) ≥ F(c)`` (you cannot *reduce* a coin's organic reward in
+  practice). ``mode="paper"`` follows Eq. 4 literally, zeroing empty
+  coins — this is what makes Lemma 1's invariants airtight.
+  ``mode="feasible"`` repairs the inconsistency properly: it raises the
+  equalization level from ``R(s)`` to
+
+      ``K = max(R(s), F(dest)/(M_dest + m_anchor),
+                max_{empty c'' ≠ dest} F(c'')/min_p m_p)``
+
+  so that every coin can be held at or above its organic reward while
+  the mover keeps a unique better response and the anchor (and larger
+  miners, and would-be escapees to empty coins) stay put. With an
+  occupied destination and no empty coins, ``K = R(s)`` and the design
+  coincides with Eq. 4 — feasibility costs extra boost only when the
+  paper's design would have been infeasible anyway. The mechanism still
+  monitors the ``T_i`` invariant at runtime as a defense-in-depth and
+  restarts on any escape (see :mod:`repro.design.mechanism`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Literal
+
+from repro.core.coin import Coin, RewardFunction
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.design.stages import anchor_index, ordered_miners
+from repro.exceptions import RewardDesignError
+
+DesignMode = Literal["paper", "feasible"]
+
+
+def stage1_rewards(
+    game: Game,
+    target: Configuration,
+    *,
+    mode: DesignMode = "paper",
+) -> RewardFunction:
+    """``H_1``: make ``s_f.p_1`` dominate every alternative (Eq. 5).
+
+    Under the returned rewards the unique pure equilibrium is "everyone
+    on ``s_f.p_1``", so any better-response learning converges to
+    ``s^1`` in one phase. Both modes agree here (stage 1 only *raises*
+    one coin's reward).
+    """
+    miners = ordered_miners(game)
+    destination = target.coin_of(miners[0])
+    boost = 2 * game.rewards.max_reward() * game.total_power() / game.min_power()
+    overrides: Dict[Coin, Fraction] = {destination: boost}
+    return game.rewards.replacing(overrides)
+
+
+def stage_rewards(
+    game: Game,
+    target: Configuration,
+    stage: int,
+    config: Configuration,
+    *,
+    mode: DesignMode = "paper",
+) -> RewardFunction:
+    """``H_i(s)`` for a stage ``i > 1`` iteration starting at *config* (Eq. 4).
+
+    All coins other than the destination get reward ``R(s)·M_c(s)``
+    (equalizing their RPUs at ``R(s)``); the destination gets
+    ``R(s)·(M_dest(s) + m_{a_i(s)})`` where ``a_i(s)`` is the anchor.
+    ``R(s)`` is the maximum RPU of *config* under the game's **base**
+    reward function, over occupied coins.
+    """
+    if stage < 2:
+        raise RewardDesignError("stage_rewards implements Eq. 4, defined for stages i ≥ 2")
+    miners = ordered_miners(game)
+    destination = target.coin_of(miners[stage - 1])
+    anchor = miners[anchor_index(game, target, stage, config) - 1]
+    destination_mass = game.coin_power(destination, config)
+    ceiling = game.max_rpu(config)
+
+    if mode == "feasible":
+        # Lift the equalization level K above R(s) just enough that the
+        # whole design can respect H(c) ≥ F(c) (Algorithm 1 line 3)
+        # while keeping the mover/anchor structure intact:
+        #   • K ≥ F(dest)/(M_dest + m_anchor) makes the destination's
+        #     designed reward K·(M_dest + m_anchor) ≥ F(dest);
+        #   • K ≥ F(c'')/m_min for every unoccupied c'' ≠ dest lets c''
+        #     keep its organic reward without attracting anyone (a lone
+        #     joiner would earn F(c'') ≤ m_min·K ≤ its current m_p·K).
+        # When the destination is occupied and no coin is empty, K
+        # collapses to R(s) and the design coincides with Eq. 4.
+        ceiling = max(ceiling, game.rewards[destination] / (destination_mass + anchor.power))
+        minimum_power = game.min_power()
+        for coin in game.coins:
+            if coin != destination and game.coin_power(coin, config) == 0:
+                ceiling = max(ceiling, game.rewards[coin] / minimum_power)
+
+    values: Dict[Coin, Fraction] = {}
+    for coin in game.coins:
+        mass = game.coin_power(coin, config)
+        if coin == destination:
+            values[coin] = ceiling * (mass + anchor.power)
+        elif mass == 0 and mode == "feasible":
+            values[coin] = game.rewards[coin]
+        else:
+            values[coin] = ceiling * mass
+    return RewardFunction.allowing_zero(values)

@@ -1,0 +1,153 @@
+"""Stage machinery for the dynamic reward design algorithm (Section 5.1).
+
+The mechanism moves the system to the desired equilibrium ``s_f`` in
+``n`` stages. Stage ``i`` parks every miner ``p_i..p_n`` on coin
+``s_f.p_i`` while miners ``p_1..p_{i-1}`` already sit at their final
+coins. This module implements the combinatorial scaffolding:
+
+* the intermediate configurations ``s^i`` (paper Eq. 3),
+* the stage sets ``T_i`` that Lemma 1 proves learning stays inside,
+* the *mover* index ``m_i(s)`` and *anchor* index ``a_i(s)``,
+* the termination potential ``Φ_i`` of Theorem 2 (rank of the binary
+  occupancy vector).
+
+Miners here are always indexed 1-based in strictly decreasing power
+order, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner, has_strictly_decreasing_powers, sorted_by_power
+from repro.exceptions import RewardDesignError
+
+
+def ordered_miners(game: Game) -> Tuple[Miner, ...]:
+    """The game's miners in strictly decreasing power order.
+
+    Section 5 requires ``m_p1 > m_p2 > … > m_pn``; duplicate powers make
+    the mover/anchor argument ill-defined, so they are rejected.
+    """
+    miners = sorted_by_power(game.miners)
+    if not has_strictly_decreasing_powers(miners):
+        raise RewardDesignError(
+            "the reward design mechanism requires strictly decreasing mining powers; "
+            "this game has duplicates"
+        )
+    return miners
+
+
+def intermediate_configuration(
+    game: Game, target: Configuration, stage: int
+) -> Configuration:
+    """The stage-``i`` milestone ``s^i`` of Eq. 3.
+
+    ``s^i.p_k = s_f.p_k`` for ``k ≤ i`` and ``s^i.p_k = s_f.p_i`` for
+    ``k > i``. Note ``s^n = s_f``.
+    """
+    miners = ordered_miners(game)
+    n = len(miners)
+    if not 1 <= stage <= n:
+        raise RewardDesignError(f"stage must be in [1, {n}], got {stage}")
+    anchor_coin = target.coin_of(miners[stage - 1])
+    assignment = {}
+    for index, miner in enumerate(miners, start=1):
+        assignment[miner] = target.coin_of(miner) if index <= stage else anchor_coin
+    return Configuration.from_mapping(game.miners, assignment)
+
+
+def in_stage_set(game: Game, target: Configuration, stage: int, config: Configuration) -> bool:
+    """Membership in ``T_i``: the configurations stage ``i`` can visit.
+
+    ``T_i`` fixes miners ``p_1..p_{i-1}`` at their final coins and
+    confines ``p_i..p_n`` to ``{s_f.p_i, s_f.p_{i-1}}``. Defined for
+    ``stage ≥ 2`` (stage 1 is unconstrained).
+    """
+    miners = ordered_miners(game)
+    if stage < 2:
+        raise RewardDesignError("T_i is defined for stages i ≥ 2")
+    allowed = {
+        target.coin_of(miners[stage - 1]),  # s_f.p_i
+        target.coin_of(miners[stage - 2]),  # s_f.p_{i-1}
+    }
+    for index, miner in enumerate(miners, start=1):
+        if index <= stage - 1:
+            if config.coin_of(miner) != target.coin_of(miner):
+                return False
+        elif config.coin_of(miner) not in allowed:
+            return False
+    return True
+
+
+def mover_index(
+    game: Game, target: Configuration, stage: int, config: Configuration
+) -> int:
+    """``m_i(s) = min{ j | ∀ l, j < l ≤ n : s.p_l = s_f.p_i }`` (1-based).
+
+    The mover is the largest-indexed prefix boundary: every miner after
+    it already sits on the stage's destination coin. Only defined for
+    ``s ∈ T_i \\ {s^i}``.
+    """
+    miners = ordered_miners(game)
+    n = len(miners)
+    destination = target.coin_of(miners[stage - 1])
+    j = n
+    while j >= 1 and config.coin_of(miners[j - 1]) == destination:
+        j -= 1
+    if j == 0:
+        raise RewardDesignError(
+            "mover is undefined: every miner already sits on the stage destination "
+            "(configuration is s^i)"
+        )
+    if j < stage:
+        raise RewardDesignError(
+            f"mover index {j} fell below stage index {stage}; configuration is "
+            "outside T_i — the stage invariant was violated"
+        )
+    return j
+
+
+def anchor_index(
+    game: Game, target: Configuration, stage: int, config: Configuration
+) -> int:
+    """``a_i(s) = m_i(s) − 1``: the miner one power-rank above the mover.
+
+    The reward design makes the destination coin exactly unattractive
+    enough that the anchor (and everyone bigger) stays put while the
+    mover strictly prefers to move.
+    """
+    return mover_index(game, target, stage, config) - 1
+
+
+def progress_vector(
+    game: Game, target: Configuration, stage: int, config: Configuration
+) -> Tuple[int, ...]:
+    """The binary occupancy vector ``vec(s)`` of Theorem 2.
+
+    Entry ``j`` (0-based) is 1 iff miner ``p_{j+i-1}`` (1-based paper
+    indexing) already mines the stage destination ``s_f.p_i``.
+    """
+    miners = ordered_miners(game)
+    destination = target.coin_of(miners[stage - 1])
+    return tuple(
+        1 if config.coin_of(miners[index - 1]) == destination else 0
+        for index in range(stage, len(miners) + 1)
+    )
+
+
+def progress_rank(
+    game: Game, target: Configuration, stage: int, config: Configuration
+) -> int:
+    """``Φ_i(s)``: the lexicographic rank of ``vec(s)``.
+
+    For binary vectors lexicographic rank is the value of the vector
+    read as a big-endian binary number; Theorem 2 shows it strictly
+    increases across stage-``i`` loop iterations, bounding their count.
+    """
+    rank = 0
+    for bit in progress_vector(game, target, stage, config):
+        rank = (rank << 1) | bit
+    return rank

@@ -1,0 +1,149 @@
+"""Standalone auditors for reward designs (Algorithm 1's contract).
+
+The mechanism in :mod:`repro.design.mechanism` audits itself; this
+module exposes the same checks (and a few more) as a public API so
+users composing *their own* reward design functions can verify them
+before deploying:
+
+* :func:`check_feasible` — Algorithm 1 line 3: ``H(c) ≥ F(c)`` for all
+  coins (you can add whale fees; you cannot remove organic rewards).
+* :func:`check_unique_mover` — Lemma 1's entry condition: in the
+  designed game exactly one miner is unstable and it has exactly one
+  improving move, to the intended destination.
+* :func:`check_anchor_holds` — the anchor (and every larger miner off
+  the destination) would not gain by joining the destination.
+* :func:`audit_stage_design` — all of the above for one stage-``i``
+  iteration, returning a structured report instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.coin import Coin, RewardFunction
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.design.stages import anchor_index, mover_index, ordered_miners
+
+
+@dataclass
+class DesignAudit:
+    """Outcome of auditing one designed reward function."""
+
+    feasible: bool
+    unique_mover: bool
+    anchor_holds: bool
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.feasible and self.unique_mover and self.anchor_holds
+
+
+def check_feasible(game: Game, designed: RewardFunction) -> List[str]:
+    """Coins whose designed reward dips below the organic one.
+
+    Empty list = feasible. The paper's Eq. 4 fails this for unoccupied
+    coins (it zeroes them); ``mode="feasible"`` designs pass.
+    """
+    problems = []
+    for coin in game.coins:
+        if designed[coin] < game.rewards[coin]:
+            problems.append(
+                f"{coin.name}: designed reward {designed[coin]} is below the "
+                f"organic {game.rewards[coin]}"
+            )
+    return problems
+
+
+def check_unique_mover(
+    game: Game,
+    designed: RewardFunction,
+    config: Configuration,
+    expected_mover_name: str,
+    destination: Coin,
+) -> List[str]:
+    """Verify exactly one unstable miner with exactly one move.
+
+    Returns human-readable problems (empty = the Lemma 1 entry
+    condition holds).
+    """
+    designed_game = game.with_rewards(designed)
+    unstable = designed_game.unstable_miners(config)
+    problems = []
+    if len(unstable) != 1:
+        problems.append(
+            f"expected exactly one unstable miner, found "
+            f"{[m.name for m in unstable]}"
+        )
+        return problems
+    mover = unstable[0]
+    if mover.name != expected_mover_name:
+        problems.append(
+            f"unstable miner is {mover.name!r}, expected {expected_mover_name!r}"
+        )
+    moves = designed_game.better_response_moves(mover, config)
+    if len(moves) != 1 or moves[0] != destination:
+        problems.append(
+            f"mover's improving moves are {[c.name for c in moves]}, expected "
+            f"exactly [{destination.name!r}]"
+        )
+    return problems
+
+
+def check_anchor_holds(
+    game: Game,
+    designed: RewardFunction,
+    config: Configuration,
+    anchor_name: str,
+    destination: Coin,
+) -> List[str]:
+    """Verify the anchor and every larger off-destination miner stays.
+
+    The designed destination reward must be exactly low enough that
+    joining is *not* improving for any miner with power at or above the
+    anchor's.
+    """
+    designed_game = game.with_rewards(designed)
+    anchor = game.miner_named(anchor_name)
+    problems = []
+    for miner in game.miners:
+        if miner.power < anchor.power:
+            continue
+        if config.coin_of(miner) == destination:
+            continue
+        if designed_game.is_better_response(miner, destination, config):
+            problems.append(
+                f"{miner.name} (power ≥ anchor) would gain by joining "
+                f"{destination.name}"
+            )
+    return problems
+
+
+def audit_stage_design(
+    game: Game,
+    target: Configuration,
+    stage: int,
+    config: Configuration,
+    designed: RewardFunction,
+) -> DesignAudit:
+    """Full audit of a stage-``i > 1`` designed reward function."""
+    miners = ordered_miners(game)
+    destination = target.coin_of(miners[stage - 1])
+    mover = miners[mover_index(game, target, stage, config) - 1]
+    anchor = miners[anchor_index(game, target, stage, config) - 1]
+
+    feasibility = check_feasible(game, designed)
+    mover_problems = check_unique_mover(
+        game, designed, config, mover.name, destination
+    )
+    anchor_problems = check_anchor_holds(
+        game, designed, config, anchor.name, destination
+    )
+    return DesignAudit(
+        feasible=not feasibility,
+        unique_mover=not mover_problems,
+        anchor_holds=not anchor_problems,
+        problems=feasibility + mover_problems + anchor_problems,
+    )

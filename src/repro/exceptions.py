@@ -1,0 +1,67 @@
+"""Exception hierarchy for the Game of Coins library.
+
+Every error raised by the library derives from :class:`GameOfCoinsError`
+so callers can catch library failures with a single ``except`` clause
+while still distinguishing finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class GameOfCoinsError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidModelError(GameOfCoinsError):
+    """A model object (miner, coin, reward function, game) is malformed.
+
+    Examples: non-positive mining power, empty coin set, a reward
+    function that does not cover every coin.
+    """
+
+
+class InvalidConfigurationError(GameOfCoinsError):
+    """A configuration is inconsistent with its game.
+
+    Examples: a configuration that assigns a miner to a coin outside the
+    game's coin set, or that misses a miner entirely.
+    """
+
+
+class NotAnEquilibriumError(GameOfCoinsError):
+    """An operation required a stable configuration but got an unstable one.
+
+    The reward design mechanism (Algorithm 2 of the paper) is defined
+    only between *stable* configurations; passing an unstable endpoint
+    raises this error instead of silently producing garbage.
+    """
+
+
+class ConvergenceError(GameOfCoinsError):
+    """Better-response learning failed to converge within the step budget.
+
+    Theorem 1 guarantees finite convergence, so hitting this error on a
+    well-formed game means the budget was too small (or a custom policy
+    violated the better-response contract).
+    """
+
+
+class AssumptionViolatedError(GameOfCoinsError):
+    """A game does not satisfy an assumption a result depends on.
+
+    Section 4 of the paper requires Assumption 1 (never alone) and
+    Assumption 2 (generic game); helpers that rely on them raise this
+    error when the precondition fails.
+    """
+
+
+class RewardDesignError(GameOfCoinsError):
+    """The dynamic reward design mechanism was used outside its contract.
+
+    Examples: target configuration not stable under the base rewards,
+    duplicate mining powers where Section 5 requires strict ordering.
+    """
+
+
+class SimulationError(GameOfCoinsError):
+    """A market or chain simulation was configured inconsistently."""

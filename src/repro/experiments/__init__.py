@@ -1,0 +1,46 @@
+"""The E1–E10 experiment runners (one per paper table/figure).
+
+Each module exposes ``run(**params) -> ExperimentResult``; the
+``benchmarks/`` directory wraps these in pytest-benchmark targets and
+prints the tables EXPERIMENTS.md records.
+"""
+
+from repro.experiments import (
+    e01_migration,
+    e02_convergence,
+    e03_no_exact_potential,
+    e04_potential_monotonicity,
+    e05_welfare,
+    e06_better_equilibrium,
+    e07_reward_design,
+    e08_design_cost,
+    e09_learning_speed,
+    e10_security_ablation,
+    e11_asymmetric,
+    e12_simultaneous,
+    e13_basins,
+    e14_exact_paths,
+)
+from repro.experiments.common import ExperimentResult
+
+#: E1–E10 reproduce the paper's artifacts; E11–E13 execute its
+#: discussion/future-work directions (asymmetric mining, simultaneous
+#: dynamics, basin analysis + manipulation planning).
+ALL_EXPERIMENTS = {
+    "E1": e01_migration.run,
+    "E2": e02_convergence.run,
+    "E3": e03_no_exact_potential.run,
+    "E4": e04_potential_monotonicity.run,
+    "E5": e05_welfare.run,
+    "E6": e06_better_equilibrium.run,
+    "E7": e07_reward_design.run,
+    "E8": e08_design_cost.run,
+    "E9": e09_learning_speed.run,
+    "E10": e10_security_ablation.run,
+    "E11": e11_asymmetric.run,
+    "E12": e12_simultaneous.run,
+    "E13": e13_basins.run,
+    "E14": e14_exact_paths.run,
+}
+
+__all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

@@ -1,0 +1,84 @@
+"""E5 — Observation 3 + Claim 4: equilibria are globally optimal.
+
+For random generic games satisfying Assumption 1, enumerate all
+equilibria and verify (a) each attains welfare exactly ``Σ F(c)``
+(Observation 3), and (b) when more than one equilibrium exists, every
+equilibrium admits a strictly-better-off miner elsewhere (Claim 4).
+Also reports the price of anarchy/stability (both must equal 1 under
+Observation 3) and the payoff Gini spread across equilibria.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.efficiency import efficiency_report
+from repro.analysis.welfare import gini_coefficient, verifies_observation3
+from repro.core.assumptions import check_generic, check_never_alone
+from repro.core.equilibrium import enumerate_equilibria
+from repro.core.factories import random_game
+from repro.experiments.common import ExperimentResult
+from repro.manipulation.better_equilibrium import find_better_equilibrium_exhaustive
+from repro.util.rng import spawn_rngs
+from repro.util.tables import Table
+
+
+def run(
+    *,
+    games: int = 15,
+    miners: int = 6,
+    coins: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Enumerate equilibria of small generic games and audit Section 4."""
+    table = Table(
+        "E5 — welfare at equilibrium (Observation 3, Claim 4)",
+        ["game", "A1", "equilibria", "all optimal", "PoA", "PoS", "Claim 4 holds", "payoff gini range"],
+    )
+    rngs = spawn_rngs(seed, games)
+    audited = 0
+    optimal = 0
+    claim4_expected = 0
+    claim4_held = 0
+    for index in range(games):
+        game = random_game(miners, coins, seed=rngs[index], ensure_generic=True)
+        a1 = check_never_alone(game, exhaustive_limit=100_000)
+        equilibria = enumerate_equilibria(game)
+        if not equilibria:
+            continue
+        all_optimal = all(verifies_observation3(game, eq) for eq in equilibria)
+        report = efficiency_report(game, equilibria)
+        ginis = [
+            gini_coefficient(list(game.payoff_vector(eq).values())) for eq in equilibria
+        ]
+        claim4 = "n/a"
+        if a1 and len(equilibria) > 1:
+            claim4_expected += len(equilibria)
+            holds = all(
+                find_better_equilibrium_exhaustive(game, eq) is not None
+                for eq in equilibria
+            )
+            claim4_held += len(equilibria) if holds else 0
+            claim4 = "yes" if holds else "NO"
+        table.add_row(
+            f"#{index}",
+            "yes" if a1 else "no",
+            len(equilibria),
+            "yes" if all_optimal else "NO",
+            report.price_of_anarchy,
+            report.price_of_stability,
+            claim4,
+            f"{min(ginis):.3f}–{max(ginis):.3f}",
+        )
+        if a1:
+            audited += len(equilibria)
+            optimal += len(equilibria) if all_optimal else 0
+    return ExperimentResult(
+        experiment="E5",
+        table=table,
+        metrics={
+            "equilibria_audited": audited,
+            "observation3_fraction": optimal / audited if audited else 1.0,
+            "claim4_fraction": (
+                claim4_held / claim4_expected if claim4_expected else 1.0
+            ),
+        },
+    )

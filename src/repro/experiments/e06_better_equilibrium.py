@@ -1,0 +1,83 @@
+"""E6 — Proposition 2: there is often a better equilibrium.
+
+Across random generic games, measure how often a stable configuration
+admits a (miner, other-equilibrium) pair with a strictly higher payoff,
+how large the gain is, and who the winners are (big vs small miners).
+This is the demand side of the manipulation market: the gains here are
+what Section 5's mechanism lets someone buy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assumptions import check_never_alone
+from repro.core.equilibrium import enumerate_equilibria
+from repro.core.factories import random_game
+from repro.experiments.common import ExperimentResult
+from repro.manipulation.better_equilibrium import improvement_opportunities
+from repro.util.rng import spawn_rngs
+from repro.util.tables import Table
+
+
+def run(
+    *,
+    games: int = 20,
+    miners: int = 6,
+    coins: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Frequency and size of Proposition 2 improvements."""
+    rngs = spawn_rngs(seed, games)
+    table = Table(
+        "E6 — better equilibria exist (Proposition 2)",
+        ["game", "A1", "equilibria", "eq. with improvement", "best gain ratio", "winner rank"],
+    )
+    with_improvement = 0
+    total_multi = 0
+    gain_ratios = []
+    winner_ranks = []
+    for index in range(games):
+        game = random_game(miners, coins, seed=rngs[index], ensure_generic=True)
+        a1 = check_never_alone(game, exhaustive_limit=100_000)
+        equilibria = enumerate_equilibria(game)
+        if len(equilibria) < 2:
+            table.add_row(f"#{index}", "yes" if a1 else "no", len(equilibria), "n/a", "n/a", "n/a")
+            continue
+        improved = 0
+        best_ratio = 1.0
+        best_rank = None
+        power_order = sorted(game.miners, key=lambda m: -m.power)
+        for eq in equilibria:
+            opportunities = improvement_opportunities(game, eq, equilibria)
+            if opportunities:
+                improved += 1
+                top = opportunities[0]
+                if top.gain_ratio > best_ratio:
+                    best_ratio = top.gain_ratio
+                    best_rank = power_order.index(top.miner) + 1
+        if a1:
+            total_multi += len(equilibria)
+            with_improvement += improved
+        if best_rank is not None:
+            gain_ratios.append(best_ratio)
+            winner_ranks.append(best_rank)
+        table.add_row(
+            f"#{index}",
+            "yes" if a1 else "no",
+            len(equilibria),
+            f"{improved}/{len(equilibria)}",
+            best_ratio,
+            best_rank if best_rank is not None else "n/a",
+        )
+    return ExperimentResult(
+        experiment="E6",
+        table=table,
+        metrics={
+            "improvement_fraction": (
+                with_improvement / total_multi if total_multi else 1.0
+            ),
+            "mean_best_gain_ratio": float(np.mean(gain_ratios)) if gain_ratios else 1.0,
+            "mean_winner_rank": float(np.mean(winner_ranks)) if winner_ranks else 0.0,
+        },
+    )

@@ -1,0 +1,106 @@
+"""E9 — discussion: convergence speed under specific learning dynamics.
+
+The paper proves convergence for arbitrary better response and asks (in
+the Discussion) about speed under specific markets. This experiment
+fixes a game family and sweeps the *learning process*: policy ×
+scheduler, plus the multiplicative-weights comparator from the related
+work. Reported: steps (or rounds) to stability per process.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.convergence import measure_convergence
+from repro.core.factories import random_game
+from repro.experiments.common import ExperimentResult
+from repro.learning.policies import (
+    BestResponsePolicy,
+    EpsilonGreedyPolicy,
+    MaxRpuPolicy,
+    MinimalGainPolicy,
+    RandomImprovingPolicy,
+)
+from repro.learning.regret import MultiplicativeWeightsLearner
+from repro.learning.schedulers import (
+    LargestFirstScheduler,
+    RoundRobinScheduler,
+    SmallestFirstScheduler,
+    UniformRandomScheduler,
+)
+from repro.util.rng import spawn_rngs
+from repro.util.tables import Table
+
+
+def run(
+    *,
+    miners: int = 20,
+    coins: int = 4,
+    runs: int = 10,
+    mwu_rounds: int = 300,
+    power_distribution: str = "pareto",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Convergence speed by learning process on a fixed game family."""
+    rngs = spawn_rngs(seed, 4)
+    game = random_game(
+        miners, coins, power_distribution=power_distribution, seed=rngs[0]
+    )
+    policies = (
+        BestResponsePolicy(),
+        RandomImprovingPolicy(),
+        MinimalGainPolicy(),
+        MaxRpuPolicy(),
+        EpsilonGreedyPolicy(0.25),
+    )
+    schedulers = (
+        UniformRandomScheduler(),
+        RoundRobinScheduler(),
+        LargestFirstScheduler(),
+        SmallestFirstScheduler(),
+    )
+    table = Table(
+        "E9 — convergence speed by learning process",
+        ["process", "mean steps", "median", "p95", "max"],
+    )
+    fastest = None
+    slowest = None
+    for policy in policies:
+        for scheduler in schedulers:
+            stats = measure_convergence(
+                game,
+                runs=runs,
+                policy=policy,
+                scheduler=scheduler,
+                seed=int(rngs[1].integers(0, 2**31)),
+            )
+            label = f"{policy.name} × {scheduler.name}"
+            table.add_row(
+                label, stats.mean_steps, stats.median_steps, stats.p95_steps, stats.max_steps
+            )
+            if fastest is None or stats.mean_steps < fastest[1]:
+                fastest = (label, stats.mean_steps)
+            if slowest is None or stats.mean_steps > slowest[1]:
+                slowest = (label, stats.mean_steps)
+
+    # MWU comparator: rounds to a stable realized profile (if at all).
+    learner = MultiplicativeWeightsLearner(step_size=0.3)
+    mwu = learner.run(game, mwu_rounds, seed=int(rngs[2].integers(0, 2**31)))
+    mwu_label = (
+        str(mwu.stabilized_at) if mwu.stabilized_at is not None else f">{mwu_rounds}"
+    )
+    table.add_row("multiplicative weights (rounds)", mwu_label, "—", "—", "—")
+
+    return ExperimentResult(
+        experiment="E9",
+        table=table,
+        metrics={
+            "fastest_process": fastest[0],
+            "fastest_mean_steps": fastest[1],
+            "slowest_process": slowest[0],
+            "slowest_mean_steps": slowest[1],
+            "mwu_stabilized": mwu.stabilized_at is not None,
+        },
+    )

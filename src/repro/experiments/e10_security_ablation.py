@@ -1,0 +1,119 @@
+"""E10 — discussion: dominant-position attacks + staged-vs-naive ablation.
+
+Two parts:
+
+* **Security attack.** Use the reward design mechanism to steer the
+  system into an equilibrium where the attacker majority-controls a
+  coin (the paper's Discussion warns exactly this is possible). Report
+  how often random games admit such a target and the attack's cost.
+* **Ablation.** Re-run every E7-style manipulation with the naive
+  single-shot designs of :mod:`repro.design.naive` instead of the
+  staged mechanism, quantifying how much the anchor construction buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.security import dominance_target, vulnerable_coins
+from repro.core.equilibrium import enumerate_equilibria, greedy_equilibrium
+from repro.core.factories import random_game
+from repro.design.mechanism import DynamicRewardDesign
+from repro.design.naive import proportional_boost_design, single_shot_design
+from repro.experiments.common import ExperimentResult
+from repro.util.rng import spawn_rngs
+from repro.util.tables import Table
+
+
+def run(
+    *,
+    games: int = 10,
+    miners: int = 6,
+    coins: int = 2,
+    naive_trials_per_pair: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Dominance attacks and the staged-vs-naive success-rate ablation."""
+    rngs = spawn_rngs(seed, games)
+    table = Table(
+        "E10 — security attack + design ablation",
+        ["game", "dominance target", "attack success", "staged", "single-shot", "proportional"],
+    )
+    attacks_possible = 0
+    attacks_succeeded = 0
+    staged_successes = 0
+    staged_runs = 0
+    naive_successes = {"single-shot": 0, "proportional": 0}
+    naive_runs = {"single-shot": 0, "proportional": 0}
+
+    for index in range(games):
+        game = random_game(miners, coins, seed=rngs[index], ensure_generic=True)
+        equilibria = enumerate_equilibria(game)
+        start = greedy_equilibrium(game)
+
+        # Part 1: dominance attack for the largest miner on the first coin.
+        attacker = max(game.miners, key=lambda m: m.power)
+        target = dominance_target(game, attacker, game.coins[0])
+        attack_result = "n/a"
+        if target is not None and target != start:
+            attacks_possible += 1
+            mech = DynamicRewardDesign()
+            outcome = mech.run(game, start, target, seed=seed + index)
+            ok = outcome.success and game.coins[0].name in vulnerable_coins(
+                game, outcome.final
+            )
+            attacks_succeeded += int(ok)
+            attack_result = "yes" if ok else "NO"
+
+        # Part 2: ablation on an arbitrary equilibrium pair.
+        other = next((eq for eq in equilibria if eq != start), None)
+        staged_mark = single_mark = prop_mark = "n/a"
+        if other is not None:
+            mech = DynamicRewardDesign()
+            staged = mech.run(game, start, other, seed=seed + 100 + index)
+            staged_runs += 1
+            staged_successes += int(staged.success)
+            staged_mark = "yes" if staged.success else "NO"
+
+            single_ok = 0
+            prop_ok = 0
+            for trial in range(naive_trials_per_pair):
+                trial_seed = seed + 1000 * (index + 1) + trial
+                single = single_shot_design(game, start, other, seed=trial_seed)
+                naive_runs["single-shot"] += 1
+                single_ok += int(single.success)
+                naive_successes["single-shot"] += int(single.success)
+                prop = proportional_boost_design(game, start, other, seed=trial_seed)
+                naive_runs["proportional"] += 1
+                prop_ok += int(prop.success)
+                naive_successes["proportional"] += int(prop.success)
+            single_mark = f"{single_ok}/{naive_trials_per_pair}"
+            prop_mark = f"{prop_ok}/{naive_trials_per_pair}"
+
+        table.add_row(
+            f"#{index}",
+            "found" if target is not None else "none",
+            attack_result,
+            staged_mark,
+            single_mark,
+            prop_mark,
+        )
+
+    def _rate(successes: int, runs: int) -> float:
+        return successes / runs if runs else float("nan")
+
+    return ExperimentResult(
+        experiment="E10",
+        table=table,
+        metrics={
+            "dominance_targets_found": attacks_possible,
+            "attack_success_rate": _rate(attacks_succeeded, attacks_possible),
+            "staged_success_rate": _rate(staged_successes, staged_runs),
+            "single_shot_success_rate": _rate(
+                naive_successes["single-shot"], naive_runs["single-shot"]
+            ),
+            "proportional_success_rate": _rate(
+                naive_successes["proportional"], naive_runs["proportional"]
+            ),
+        },
+    )

@@ -1,0 +1,132 @@
+"""JSON serialization for games, configurations and results.
+
+Exact rationals survive the round trip: powers and rewards serialize as
+``"numerator/denominator"`` strings, never floats, so a game loaded
+from disk has bit-identical strategic structure (stability, potential
+comparisons, design invariants) to the one saved.
+
+Format (version 1)::
+
+    {
+      "format": "game-of-coins/game",
+      "version": 1,
+      "miners": [{"name": "p1", "power": "5/2"}, ...],
+      "coins": ["c1", "c2", ...],
+      "rewards": {"c1": "100/1", ...}
+    }
+
+Configurations reference the owning game's miner/coin names only.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Union
+
+from repro.core.coin import Coin, RewardFunction, make_coins
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner
+from repro.exceptions import InvalidModelError
+
+GAME_FORMAT = "game-of-coins/game"
+CONFIGURATION_FORMAT = "game-of-coins/configuration"
+_VERSION = 1
+
+
+def _fraction_to_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _fraction_from_str(text: str, *, context: str) -> Fraction:
+    try:
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError) as error:
+        raise InvalidModelError(f"bad rational {text!r} in {context}: {error}")
+
+
+def game_to_dict(game: Game) -> Dict[str, Any]:
+    """A JSON-ready dict for *game* (exact rationals as strings)."""
+    return {
+        "format": GAME_FORMAT,
+        "version": _VERSION,
+        "miners": [
+            {"name": miner.name, "power": _fraction_to_str(miner.power)}
+            for miner in game.miners
+        ],
+        "coins": [coin.name for coin in game.coins],
+        "rewards": {
+            coin.name: _fraction_to_str(game.rewards[coin]) for coin in game.coins
+        },
+    }
+
+
+def game_from_dict(payload: Dict[str, Any]) -> Game:
+    """Rebuild a game saved by :func:`game_to_dict`."""
+    if payload.get("format") != GAME_FORMAT:
+        raise InvalidModelError(
+            f"not a game payload (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != _VERSION:
+        raise InvalidModelError(f"unsupported game version {payload.get('version')!r}")
+    miners = tuple(
+        Miner(entry["name"], _fraction_from_str(entry["power"], context=entry["name"]))
+        for entry in payload["miners"]
+    )
+    coins = make_coins(payload["coins"])
+    rewards = RewardFunction(
+        {
+            coin: _fraction_from_str(
+                payload["rewards"][coin.name], context=f"reward of {coin.name}"
+            )
+            for coin in coins
+        }
+    )
+    return Game(miners, coins, rewards)
+
+
+def configuration_to_dict(config: Configuration) -> Dict[str, Any]:
+    """A JSON-ready dict for *config* (names only)."""
+    return {
+        "format": CONFIGURATION_FORMAT,
+        "version": _VERSION,
+        "assignment": config.as_dict(),
+    }
+
+
+def configuration_from_dict(payload: Dict[str, Any], game: Game) -> Configuration:
+    """Rebuild a configuration against *game* (validating names)."""
+    if payload.get("format") != CONFIGURATION_FORMAT:
+        raise InvalidModelError(
+            f"not a configuration payload (format={payload.get('format')!r})"
+        )
+    assignment = payload["assignment"]
+    mapping = {}
+    for miner in game.miners:
+        if miner.name not in assignment:
+            raise InvalidModelError(f"configuration misses miner {miner.name!r}")
+        mapping[miner] = game.coin_named(assignment[miner.name])
+    return Configuration.from_mapping(game.miners, mapping)
+
+
+def save_game(game: Game, path: str) -> None:
+    """Write *game* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(game_to_dict(game), handle, indent=2, sort_keys=True)
+
+
+def load_game(path: str) -> Game:
+    """Read a game previously written by :func:`save_game`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return game_from_dict(json.load(handle))
+
+
+def save_configuration(config: Configuration, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(configuration_to_dict(config), handle, indent=2, sort_keys=True)
+
+
+def load_configuration(path: str, game: Game) -> Configuration:
+    with open(path, "r", encoding="utf-8") as handle:
+        return configuration_from_dict(json.load(handle), game)

@@ -1,0 +1,57 @@
+"""Better-response learning: policies × schedulers × engine (+ MWU baseline)."""
+
+from repro.learning.engine import DEFAULT_MAX_STEPS, LearningEngine, converge
+from repro.learning.policies import (
+    STANDARD_POLICIES,
+    BestResponsePolicy,
+    BetterResponsePolicy,
+    EpsilonGreedyPolicy,
+    FirstImprovingPolicy,
+    MaxRpuPolicy,
+    MinimalGainPolicy,
+    RandomImprovingPolicy,
+)
+from repro.learning.regret import MultiplicativeWeightsLearner, MwuResult
+from repro.learning.restricted_engine import RestrictedLearningEngine
+from repro.learning.simultaneous import (
+    SimultaneousResult,
+    cycling_fraction,
+    run_simultaneous,
+)
+from repro.learning.schedulers import (
+    STANDARD_SCHEDULERS,
+    ActivationScheduler,
+    LargestFirstScheduler,
+    RoundRobinScheduler,
+    SmallestFirstScheduler,
+    UniformRandomScheduler,
+)
+from repro.learning.trajectory import Step, Trajectory
+
+__all__ = [
+    "DEFAULT_MAX_STEPS",
+    "LearningEngine",
+    "converge",
+    "STANDARD_POLICIES",
+    "BetterResponsePolicy",
+    "BestResponsePolicy",
+    "EpsilonGreedyPolicy",
+    "FirstImprovingPolicy",
+    "MaxRpuPolicy",
+    "MinimalGainPolicy",
+    "RandomImprovingPolicy",
+    "MultiplicativeWeightsLearner",
+    "MwuResult",
+    "RestrictedLearningEngine",
+    "SimultaneousResult",
+    "cycling_fraction",
+    "run_simultaneous",
+    "STANDARD_SCHEDULERS",
+    "ActivationScheduler",
+    "LargestFirstScheduler",
+    "RoundRobinScheduler",
+    "SmallestFirstScheduler",
+    "UniformRandomScheduler",
+    "Step",
+    "Trajectory",
+]

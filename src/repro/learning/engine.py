@@ -1,0 +1,149 @@
+"""The better-response learning engine.
+
+Runs one improving path: repeatedly ask the scheduler *who* moves and
+the policy *where*, apply the step, and stop at a stable configuration.
+Theorem 1 guarantees termination for any scheduler × policy pair; the
+engine enforces a step budget anyway so a buggy custom policy (one that
+returns non-improving moves) cannot loop forever — and it *verifies*
+the improvement contract on every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.exceptions import ConvergenceError
+from repro.learning.policies import BetterResponsePolicy, RandomImprovingPolicy
+from repro.learning.schedulers import ActivationScheduler, UniformRandomScheduler
+from repro.learning.trajectory import Step, Trajectory
+from repro.util.rng import RngLike, make_rng
+
+#: Default per-run step budget. Theorem 1 guarantees finite convergence,
+#: but the bound is the potential's range; this default is generous for
+#: the game sizes the experiments use.
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+@dataclass
+class LearningEngine:
+    """A reusable better-response learning runner.
+
+    Parameters
+    ----------
+    policy:
+        Where an activated miner moves (default: uniformly random
+        improving move — the canonical "arbitrary" learner).
+    scheduler:
+        Who moves next (default: uniformly random unstable miner).
+    max_steps:
+        Step budget; exceeded ⇒ :class:`ConvergenceError` when
+        ``raise_on_budget`` else an unconverged trajectory.
+    record_configurations:
+        Keep every intermediate configuration (needed by potential
+        audits; costs memory on long runs).
+    """
+
+    policy: BetterResponsePolicy = None  # type: ignore[assignment]
+    scheduler: ActivationScheduler = None  # type: ignore[assignment]
+    max_steps: int = DEFAULT_MAX_STEPS
+    record_configurations: bool = True
+    raise_on_budget: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy is None:
+            self.policy = RandomImprovingPolicy()
+        if self.scheduler is None:
+            self.scheduler = UniformRandomScheduler()
+        if self.max_steps < 0:
+            raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
+
+    def run(
+        self,
+        game: Game,
+        initial: Configuration,
+        *,
+        seed: RngLike = None,
+    ) -> Trajectory:
+        """Run better-response learning from *initial* to convergence.
+
+        Returns the full :class:`Trajectory`. Raises
+        :class:`ConvergenceError` if the budget is exhausted and
+        ``raise_on_budget`` is set.
+        """
+        game.validate_configuration(initial)
+        rng = make_rng(seed)
+        self.scheduler.reset()
+
+        trajectory = Trajectory(configurations=[initial])
+        config = initial
+        # Incrementally maintained {coin: M_c(s)} map; keeps the
+        # per-step stability scan at O(n·k) instead of O(n²·k).
+        powers = game.coin_power_map(config)
+        for index in range(self.max_steps):
+            unstable = game.unstable_miners_given(config, powers)
+            if not unstable:
+                trajectory.converged = True
+                return trajectory
+            miner = self.scheduler.pick(game, config, unstable, rng)
+            target = self.policy.choose(game, config, miner, rng)
+            if target is None:
+                raise ConvergenceError(
+                    f"scheduler activated miner {miner.name!r} but the policy "
+                    "found no improving move; scheduler/policy disagree on stability"
+                )
+            before = game.payoff(miner, config)
+            after = game.payoff_after_move(miner, target, config)
+            if after <= before:
+                raise ConvergenceError(
+                    f"policy {self.policy.name!r} returned a non-improving move for "
+                    f"{miner.name!r} ({before} → {after}); better-response contract violated"
+                )
+            source = config.coin_of(miner)
+            config = config.move(miner, target)
+            powers[source] -= miner.power
+            powers[target] += miner.power
+            trajectory.steps.append(
+                Step(
+                    index=index,
+                    miner=miner,
+                    source=source,
+                    target=target,
+                    payoff_before=before,
+                    payoff_after=after,
+                )
+            )
+            if self.record_configurations or len(trajectory.configurations) == 1:
+                trajectory.configurations.append(config)
+            else:
+                trajectory.configurations[-1] = config
+
+        if game.is_stable(config):
+            trajectory.converged = True
+            return trajectory
+        if self.raise_on_budget:
+            raise ConvergenceError(
+                f"better-response learning did not converge within {self.max_steps} steps"
+            )
+        return trajectory
+
+
+def converge(
+    game: Game,
+    initial: Configuration,
+    *,
+    policy: Optional[BetterResponsePolicy] = None,
+    scheduler: Optional[ActivationScheduler] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    seed: RngLike = None,
+) -> Configuration:
+    """Convenience wrapper: run learning and return only the final state."""
+    engine = LearningEngine(
+        policy=policy,
+        scheduler=scheduler,
+        max_steps=max_steps,
+        record_configurations=False,
+    )
+    return engine.run(game, initial, seed=seed).final

@@ -1,0 +1,160 @@
+"""Better-response policies: *where* an activated miner moves.
+
+The paper's convergence result (Theorem 1) holds for *arbitrary*
+better-response learning — any sequence of individual improving steps.
+A policy is the "where" half of that arbitrariness: given a miner with
+at least one improving move, it picks one. The "who moves" half lives in
+:mod:`repro.learning.schedulers`.
+
+Every policy must return an *improving* coin (or ``None`` when the
+miner is stable); the learning engine verifies this contract, so a
+buggy custom policy fails loudly instead of corrupting convergence
+measurements.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.coin import Coin
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner
+
+
+class BetterResponsePolicy(abc.ABC):
+    """Strategy interface: choose an improving coin for an active miner."""
+
+    #: Short name used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        game: Game,
+        config: Configuration,
+        miner: Miner,
+        rng: np.random.Generator,
+    ) -> Optional[Coin]:
+        """An improving coin for *miner*, or ``None`` if it has none."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BestResponsePolicy(BetterResponsePolicy):
+    """Move to the payoff-maximizing coin (classic best response)."""
+
+    name = "best-response"
+
+    def choose(self, game, config, miner, rng):
+        return game.best_response(miner, config)
+
+
+class RandomImprovingPolicy(BetterResponsePolicy):
+    """Move to a uniformly random improving coin.
+
+    The canonical "arbitrary better response" instance used by the
+    convergence experiments.
+    """
+
+    name = "random-improving"
+
+    def choose(self, game, config, miner, rng):
+        moves = game.better_response_moves(miner, config)
+        if not moves:
+            return None
+        return moves[int(rng.integers(0, len(moves)))]
+
+
+class MinimalGainPolicy(BetterResponsePolicy):
+    """Move to the improving coin with the *smallest* payoff gain.
+
+    An adversarially slow learner: it takes the least useful improving
+    step available, which stress-tests convergence-time results and the
+    reward design mechanism's "any better response learning" guarantee.
+    """
+
+    name = "minimal-gain"
+
+    def choose(self, game, config, miner, rng):
+        moves = game.better_response_moves(miner, config)
+        if not moves:
+            return None
+        current = game.payoff(miner, config)
+        return min(
+            moves,
+            key=lambda coin: (game.payoff_after_move(miner, coin, config) - current, coin.name),
+        )
+
+
+class FirstImprovingPolicy(BetterResponsePolicy):
+    """Move to the first improving coin in the game's coin order.
+
+    Deterministic; useful for regression tests that need repeatable
+    trajectories without a seed.
+    """
+
+    name = "first-improving"
+
+    def choose(self, game, config, miner, rng):
+        moves = game.better_response_moves(miner, config)
+        return moves[0] if moves else None
+
+
+class MaxRpuPolicy(BetterResponsePolicy):
+    """Move to the improving coin with the highest *post-move* RPU.
+
+    Mirrors how profit-switching dashboards (the paper cites
+    whattomine.com) rank coins: by revenue per unit of hashpower after
+    you join.
+    """
+
+    name = "max-rpu"
+
+    def choose(self, game, config, miner, rng):
+        moves = game.better_response_moves(miner, config)
+        if not moves:
+            return None
+        return max(
+            moves,
+            key=lambda coin: (
+                game.rewards[coin] / (game.coin_power(coin, config) + miner.power),
+                coin.name,
+            ),
+        )
+
+
+class EpsilonGreedyPolicy(BetterResponsePolicy):
+    """Best response with probability ``1−ε``, random improving otherwise.
+
+    A noisy learner between the two extremes; still a valid
+    better-response policy because both branches return improving moves.
+    """
+
+    name = "epsilon-greedy"
+
+    def __init__(self, epsilon: float = 0.2):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+        self.name = f"epsilon-greedy({epsilon})"
+        self._best = BestResponsePolicy()
+        self._random = RandomImprovingPolicy()
+
+    def choose(self, game, config, miner, rng):
+        if rng.random() < self.epsilon:
+            return self._random.choose(game, config, miner, rng)
+        return self._best.choose(game, config, miner, rng)
+
+
+#: The named policies experiments sweep over.
+STANDARD_POLICIES = (
+    BestResponsePolicy(),
+    RandomImprovingPolicy(),
+    MinimalGainPolicy(),
+    MaxRpuPolicy(),
+)

@@ -1,0 +1,131 @@
+"""Multiplicative-weights (Hedge) learning baseline.
+
+The paper's related work contrasts its minimal-rationality model
+(arbitrary better-response steps) with regret-minimizing learning
+[Heliou et al. 2017; Palaiopanos et al. 2017]. This module implements
+that comparator: each miner keeps a mixed strategy over coins and
+updates it with multiplicative weights on observed RPU payoffs. E9 uses
+it to compare convergence speed and limit behaviour against
+better-response learning.
+
+Unlike the exact core, this learner works in floats — mixed strategies
+are inherently approximate and the MWU trajectory is a simulation
+artifact, not a correctness-critical object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass
+class MwuResult:
+    """Outcome of a multiplicative-weights run."""
+
+    #: Per-round realized configurations (sampled from mixed strategies).
+    configurations: List[Configuration]
+    #: Per-miner final mixed strategy over coins (row-stochastic matrix).
+    final_strategies: np.ndarray
+    #: Rounds until the empirical play stabilized (or None if it never did).
+    stabilized_at: Optional[int]
+
+    @property
+    def rounds(self) -> int:
+        return len(self.configurations)
+
+    @property
+    def final(self) -> Configuration:
+        return self.configurations[-1]
+
+
+class MultiplicativeWeightsLearner:
+    """Hedge over coins, one weight vector per miner.
+
+    Each round every miner samples a coin from its mixed strategy, the
+    realized configuration determines RPUs, and each miner reweights
+    *all* coins by the counterfactual payoff it would have received
+    there (full-information Hedge).
+    """
+
+    def __init__(self, step_size: float = 0.2, *, stability_window: int = 25):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if stability_window < 1:
+            raise ValueError(f"stability_window must be ≥ 1, got {stability_window}")
+        self.step_size = step_size
+        self.stability_window = stability_window
+
+    def run(
+        self,
+        game: Game,
+        rounds: int,
+        *,
+        seed: RngLike = None,
+        initial: Optional[Configuration] = None,
+    ) -> MwuResult:
+        """Run *rounds* rounds of full-information Hedge."""
+        if rounds < 1:
+            raise ValueError(f"rounds must be ≥ 1, got {rounds}")
+        rng = make_rng(seed)
+        n, k = len(game.miners), len(game.coins)
+        powers = np.array([float(m.power) for m in game.miners])
+        rewards = np.array([float(game.rewards[c]) for c in game.coins])
+
+        weights = np.ones((n, k))
+        if initial is not None:
+            # Bias the starting mixture toward the given configuration.
+            game.validate_configuration(initial)
+            for i, miner in enumerate(game.miners):
+                j = game.coins.index(initial.coin_of(miner))
+                weights[i, j] = 10.0
+        reward_scale = rewards.max() / max(powers.min(), 1e-12)
+
+        configurations: List[Configuration] = []
+        stabilized_at: Optional[int] = None
+        last_choice: Optional[np.ndarray] = None
+        stable_run = 0
+
+        for round_index in range(rounds):
+            probabilities = weights / weights.sum(axis=1, keepdims=True)
+            choices = np.array(
+                [rng.choice(k, p=probabilities[i]) for i in range(n)], dtype=int
+            )
+            configurations.append(
+                Configuration(game.miners, [game.coins[j] for j in choices])
+            )
+
+            # Counterfactual payoff of miner i on coin j: join j (leaving
+            # its current coin), everyone else fixed.
+            coin_power = np.zeros(k)
+            np.add.at(coin_power, choices, powers)
+            payoff_matrix = np.empty((n, k))
+            for i in range(n):
+                others = coin_power.copy()
+                others[choices[i]] -= powers[i]
+                payoff_matrix[i] = powers[i] * rewards / (others + powers[i])
+            normalized = payoff_matrix / (reward_scale * powers[:, None])
+            weights *= np.exp(self.step_size * normalized)
+            weights /= weights.max(axis=1, keepdims=True)  # numerical hygiene
+
+            if last_choice is not None and np.array_equal(choices, last_choice):
+                stable_run += 1
+                if stable_run >= self.stability_window and stabilized_at is None:
+                    stabilized_at = round_index - self.stability_window + 1
+            else:
+                stable_run = 0
+                stabilized_at = None
+            last_choice = choices
+
+        probabilities = weights / weights.sum(axis=1, keepdims=True)
+        return MwuResult(
+            configurations=configurations,
+            final_strategies=probabilities,
+            stabilized_at=stabilized_at,
+        )

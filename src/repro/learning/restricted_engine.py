@@ -1,0 +1,100 @@
+"""Better-response learning for restricted (asymmetric) games.
+
+A thin engine mirroring :class:`repro.learning.engine.LearningEngine`
+for :class:`repro.core.restricted.RestrictedGame`. Kept separate so the
+symmetric hot path stays lean; the restricted engine reuses the policy
+idea (where to move) but consults the restriction for legal moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.restricted import RestrictedGame
+from repro.exceptions import ConvergenceError
+from repro.learning.trajectory import Step, Trajectory
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass
+class RestrictedLearningEngine:
+    """Arbitrary better-response learning under hardware restrictions.
+
+    Policies are expressed as a mode string rather than the policy
+    objects of the unrestricted engine, because restricted move sets
+    must be computed here anyway:
+
+    * ``"random"`` — uniformly random legal improving move,
+    * ``"best"`` — legal payoff-maximizing move,
+    * ``"minimal"`` — legal move with the smallest gain (adversarial).
+    """
+
+    mode: str = "random"
+    max_steps: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("random", "best", "minimal"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+
+    def run(
+        self,
+        restricted: RestrictedGame,
+        initial: Configuration,
+        *,
+        seed: RngLike = None,
+    ) -> Trajectory:
+        """Run legal better-response learning to a restricted equilibrium."""
+        restricted.validate_configuration(initial)
+        rng = make_rng(seed)
+        game = restricted.game
+        trajectory = Trajectory(configurations=[initial])
+        config = initial
+        for index in range(self.max_steps):
+            unstable = restricted.unstable_miners(config)
+            if not unstable:
+                trajectory.converged = True
+                return trajectory
+            miner = unstable[int(rng.integers(0, len(unstable)))]
+            moves = restricted.better_response_moves(miner, config)
+            target = self._select(game, miner, config, moves, rng)
+            before = game.payoff(miner, config)
+            source = config.coin_of(miner)
+            config = config.move(miner, target)
+            after = game.payoff(miner, config)
+            if after <= before:
+                raise ConvergenceError(
+                    "restricted engine produced a non-improving step; bug"
+                )
+            trajectory.steps.append(
+                Step(
+                    index=index,
+                    miner=miner,
+                    source=source,
+                    target=target,
+                    payoff_before=before,
+                    payoff_after=after,
+                )
+            )
+            trajectory.configurations.append(config)
+        if restricted.is_stable(config):
+            trajectory.converged = True
+            return trajectory
+        raise ConvergenceError(
+            f"restricted learning did not converge within {self.max_steps} steps"
+        )
+
+    def _select(self, game, miner, config, moves, rng):
+        if self.mode == "random":
+            return moves[int(rng.integers(0, len(moves)))]
+        gains = {
+            coin: game.payoff_after_move(miner, coin, config) for coin in moves
+        }
+        if self.mode == "best":
+            return max(moves, key=lambda c: (gains[c], c.name))
+        return min(moves, key=lambda c: (gains[c], c.name))

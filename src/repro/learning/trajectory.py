@@ -1,0 +1,78 @@
+"""Trajectories: the recorded history of one better-response learning run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.coin import Coin
+from repro.core.configuration import Configuration
+from repro.core.miner import Miner
+
+
+@dataclass(frozen=True)
+class Step:
+    """One better-response step: who moved, from where, to where, gaining what."""
+
+    index: int
+    miner: Miner
+    source: Coin
+    target: Coin
+    payoff_before: Fraction
+    payoff_after: Fraction
+
+    @property
+    def gain(self) -> Fraction:
+        return self.payoff_after - self.payoff_before
+
+
+@dataclass
+class Trajectory:
+    """A full better-response learning run.
+
+    ``configurations[0]`` is the initial state; ``configurations[i+1]``
+    results from ``steps[i]``. ``converged`` is ``True`` when the run
+    ended in a stable configuration (as Theorem 1 guarantees it must,
+    given enough budget).
+    """
+
+    configurations: List[Configuration] = field(default_factory=list)
+    steps: List[Step] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def initial(self) -> Configuration:
+        return self.configurations[0]
+
+    @property
+    def final(self) -> Configuration:
+        return self.configurations[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of better-response steps taken."""
+        return len(self.steps)
+
+    def moves_per_miner(self) -> Dict[Miner, int]:
+        """How many times each miner moved."""
+        counts: Dict[Miner, int] = {}
+        for step in self.steps:
+            counts[step.miner] = counts.get(step.miner, 0) + 1
+        return counts
+
+    def total_gain(self) -> Fraction:
+        """Sum of per-step payoff gains (each strictly positive)."""
+        return sum((step.gain for step in self.steps), Fraction(0))
+
+    def coin_flow(self) -> Dict[Tuple[Coin, Coin], int]:
+        """Move counts keyed by (source coin, target coin)."""
+        flows: Dict[Tuple[Coin, Coin], int] = {}
+        for step in self.steps:
+            key = (step.source, step.target)
+            flows[key] = flows.get(key, 0) + 1
+        return flows
+
+    def summary(self) -> str:
+        state = "converged" if self.converged else "budget exhausted"
+        return f"Trajectory({self.length} steps, {state})"

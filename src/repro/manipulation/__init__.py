@@ -1,0 +1,41 @@
+"""Manipulation economics: Proposition 2 witnesses, whale and price levers."""
+
+from repro.manipulation.better_equilibrium import (
+    Improvement,
+    find_better_equilibrium_exhaustive,
+    find_better_equilibrium_sampled,
+    improvement_opportunities,
+)
+from repro.manipulation.exchange import (
+    PriceImpactModel,
+    boost_factor_needed,
+    exchange_cost_of_phase,
+)
+from repro.manipulation.planner import (
+    ManipulationPlan,
+    PlannerReport,
+    plan_manipulation,
+)
+from repro.manipulation.whale import (
+    RoiReport,
+    WhaleBudget,
+    budget_from_ledger,
+    manipulation_roi,
+)
+
+__all__ = [
+    "Improvement",
+    "find_better_equilibrium_exhaustive",
+    "find_better_equilibrium_sampled",
+    "improvement_opportunities",
+    "PriceImpactModel",
+    "boost_factor_needed",
+    "exchange_cost_of_phase",
+    "ManipulationPlan",
+    "PlannerReport",
+    "plan_manipulation",
+    "RoiReport",
+    "WhaleBudget",
+    "budget_from_ledger",
+    "manipulation_roi",
+]

@@ -1,0 +1,69 @@
+"""Exchange-rate manipulation: the second reward lever (Section 1).
+
+Instead of stuffing fees, a manipulator can push a coin's fiat price
+(the paper cites the Bitfinex/Tether literature). Price impact costs
+are convex — moving a market by x% costs roughly quadratically in x —
+so the same reward boost is cheaper via fees for small boosts and via
+price for sustained ones. E8 compares the two levers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro._numeric import Number, to_fraction
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class PriceImpactModel:
+    """Square-root/quadratic market-impact cost model.
+
+    Pushing the price by a factor ``f ≥ 1`` for one round costs
+    ``depth · (f − 1)²`` — the standard convex impact approximation
+    with ``depth`` the market's resilience (fiat units).
+    """
+
+    depth: Fraction
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise SimulationError("market depth must be positive")
+
+    def cost_of_factor(self, factor: Number) -> Fraction:
+        """Cost of holding a price multiple *factor* for one round."""
+        f = to_fraction(factor, name="factor")
+        if f < 1:
+            raise SimulationError(
+                "price manipulation can only push rates up in this model "
+                f"(factor ≥ 1), got {factor!r}"
+            )
+        return self.depth * (f - 1) ** 2
+
+
+def boost_factor_needed(base_reward: Number, designed_reward: Number) -> Fraction:
+    """The price multiple that realizes a designed reward via the rate.
+
+    A coin's weight is proportional to its fiat rate, so the multiple
+    is simply ``designed / base`` (floored at 1 — the design never needs
+    to *lower* a price in feasible mode).
+    """
+    base = to_fraction(base_reward, name="base_reward")
+    designed = to_fraction(designed_reward, name="designed_reward")
+    if base <= 0:
+        raise SimulationError("base reward must be positive")
+    return max(designed / base, Fraction(1))
+
+
+def exchange_cost_of_phase(
+    base_reward: Number,
+    designed_reward: Number,
+    rounds: int,
+    model: PriceImpactModel,
+) -> Fraction:
+    """Total price-impact cost of holding one designed reward for *rounds*."""
+    if rounds < 0:
+        raise SimulationError("rounds must be non-negative")
+    factor = boost_factor_needed(base_reward, designed_reward)
+    return model.cost_of_factor(factor) * rounds

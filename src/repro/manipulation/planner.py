@@ -1,0 +1,112 @@
+"""The manipulation planner: which equilibrium is worth buying?
+
+Proposition 2 guarantees *some* miner has *some* better equilibrium;
+the planner answers the operational question for a *specific* miner:
+among all reachable equilibria, which target maximizes net value —
+payoff gain per round against the mechanism's one-off cost — and is it
+better than doing nothing (the basin-weighted status quo)?
+
+The planner prices each candidate by actually executing the mechanism
+in simulation (costs depend on the path, not just the endpoints), so
+its output is an executable plan, not an estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.analysis.basins import BasinProfile, expected_payoff_from_luck
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner
+from repro.design.mechanism import DynamicRewardDesign
+from repro.manipulation.whale import manipulation_roi
+from repro.util.rng import RngLike
+
+
+@dataclass(frozen=True)
+class ManipulationPlan:
+    """One priced manipulation option for a beneficiary."""
+
+    target: Configuration
+    gain_per_round: Fraction
+    cost: Fraction
+    break_even_rounds: Optional[float]
+    mechanism_steps: int
+
+    def net_value_at(self, horizon_rounds: int) -> Fraction:
+        """Gain minus cost over a payoff horizon."""
+        return self.gain_per_round * horizon_rounds - self.cost
+
+
+@dataclass
+class PlannerReport:
+    """All evaluated options, best first, plus the do-nothing baseline."""
+
+    beneficiary: str
+    current_payoff: Fraction
+    luck_baseline: Optional[Fraction]
+    plans: List[ManipulationPlan]
+
+    @property
+    def best(self) -> Optional[ManipulationPlan]:
+        return self.plans[0] if self.plans else None
+
+    def worth_buying(self, horizon_rounds: int) -> bool:
+        """Is the best plan strictly better than staying put?"""
+        if self.best is None:
+            return False
+        return self.best.net_value_at(horizon_rounds) > 0
+
+
+def plan_manipulation(
+    game: Game,
+    beneficiary: Miner,
+    current: Configuration,
+    candidates: Sequence[Configuration],
+    *,
+    basin: Optional[BasinProfile] = None,
+    seed: RngLike = None,
+) -> PlannerReport:
+    """Price every candidate equilibrium for *beneficiary*.
+
+    Only candidates where the beneficiary strictly gains are executed
+    and priced; they are returned sorted by break-even horizon (fastest
+    payback first). ``basin`` adds the luck baseline to the report.
+    """
+    current_payoff = game.payoff(beneficiary, current)
+    plans: List[ManipulationPlan] = []
+    for candidate in candidates:
+        if candidate == current:
+            continue
+        gain = game.payoff(beneficiary, candidate) - current_payoff
+        if gain <= 0:
+            continue
+        mechanism = DynamicRewardDesign()
+        result = mechanism.run(game, current, candidate, seed=seed)
+        roi = manipulation_roi(game, beneficiary, current, candidate, result.ledger)
+        plans.append(
+            ManipulationPlan(
+                target=candidate,
+                gain_per_round=gain,
+                cost=roi.cost,
+                break_even_rounds=roi.break_even_rounds,
+                mechanism_steps=result.total_steps,
+            )
+        )
+    plans.sort(
+        key=lambda plan: (
+            plan.break_even_rounds if plan.break_even_rounds is not None else float("inf")
+        )
+    )
+    luck = (
+        expected_payoff_from_luck(game, beneficiary, basin) if basin is not None else None
+    )
+    return PlannerReport(
+        beneficiary=beneficiary.name,
+        current_payoff=current_payoff,
+        luck_baseline=luck,
+        plans=plans,
+    )

@@ -1,0 +1,106 @@
+"""Whale-transaction economics: what a reward boost costs in fees.
+
+The paper's manipulation lever is "creating additional transactions
+with high fees (sometimes called whale transactions)". The reward
+design mechanism expresses manipulations as abstract reward excesses
+per round (:mod:`repro.design.cost`); this module converts them to a
+concrete fee budget given a coin's block cadence, and computes the
+manipulator's return on investment over a payoff horizon — the E8
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner
+from repro.design.cost import CostLedger
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class WhaleBudget:
+    """Fee spend needed to realize a mechanism run's reward boosts."""
+
+    #: Total extra reward paid, in game reward units.
+    total_excess: Fraction
+    #: Equivalent fee spend assuming one learning round per block.
+    fee_spend: Fraction
+    #: Rounds (blocks) the boosts were held in total.
+    rounds: int
+
+
+def budget_from_ledger(
+    ledger: CostLedger,
+    *,
+    rounds_per_block: float = 1.0,
+) -> WhaleBudget:
+    """Convert a mechanism cost ledger to a whale fee budget.
+
+    ``rounds_per_block`` scales abstract learning rounds to blocks: if
+    miners re-evaluate faster than once per block, a round is cheaper
+    than a block's worth of fees.
+    """
+    if rounds_per_block <= 0:
+        raise SimulationError("rounds_per_block must be positive")
+    total = ledger.total()
+    return WhaleBudget(
+        total_excess=total,
+        fee_spend=total * Fraction(rounds_per_block).limit_denominator(10**6),
+        rounds=ledger.total_rounds(),
+    )
+
+
+@dataclass(frozen=True)
+class RoiReport:
+    """Manipulator return-on-investment for one executed manipulation."""
+
+    miner: str
+    cost: Fraction
+    gain_per_round: Fraction
+    #: Rounds until cumulative gain covers cost (None = never).
+    break_even_rounds: Optional[float]
+
+    def roi_at(self, horizon_rounds: int) -> float:
+        """Net return after *horizon_rounds* rounds, as a multiple of cost."""
+        if self.cost == 0:
+            return float("inf")
+        net = self.gain_per_round * horizon_rounds - self.cost
+        return float(net / self.cost)
+
+
+def manipulation_roi(
+    game: Game,
+    beneficiary: Miner,
+    before: Configuration,
+    after: Configuration,
+    ledger: CostLedger,
+    *,
+    rounds_per_block: float = 1.0,
+) -> RoiReport:
+    """ROI of moving the system from *before* to *after* for *beneficiary*.
+
+    The gain per round is the payoff difference between the two
+    equilibria; the cost is the whale budget of the mechanism run that
+    produced the move. The paper's headline — "pay a finite cost while
+    gaining an advantage indefinitely" — corresponds to a finite
+    ``break_even_rounds``.
+    """
+    gain = game.payoff(beneficiary, after) - game.payoff(beneficiary, before)
+    budget = budget_from_ledger(ledger, rounds_per_block=rounds_per_block)
+    if gain <= 0:
+        break_even = None
+    elif budget.fee_spend == 0:
+        break_even = 0.0
+    else:
+        break_even = float(budget.fee_spend / gain)
+    return RoiReport(
+        miner=beneficiary.name,
+        cost=budget.fee_spend,
+        gain_per_round=gain,
+        break_even_rounds=break_even,
+    )

@@ -1,0 +1,59 @@
+"""Market substrate: coin specs, price/fee processes, weights, populations."""
+
+from repro.market.coins import CoinSpec, bitcoin_cash_spec, bitcoin_spec
+from repro.market.exchange_rates import (
+    ConstantRate,
+    GeometricBrownianRate,
+    JumpDiffusionRate,
+    JumpEvent,
+    RateProcess,
+    btc_bch_november_2017,
+)
+from repro.market.fees import (
+    ConstantFees,
+    FeeProcess,
+    MeanRevertingFees,
+    WhaleBoost,
+    WhaleFeeSchedule,
+)
+from repro.market.population import (
+    POOL_PROFILE_2017,
+    pareto_population,
+    pool_population,
+    uniform_population,
+)
+from repro.market.scenario import (
+    MarketScenario,
+    ScenarioReplay,
+    btc_bch_scenario,
+    multi_coin_scenario,
+)
+from repro.market.weights import WeightSeries, build_weight_series, weight_path
+
+__all__ = [
+    "CoinSpec",
+    "bitcoin_cash_spec",
+    "bitcoin_spec",
+    "ConstantRate",
+    "GeometricBrownianRate",
+    "JumpDiffusionRate",
+    "JumpEvent",
+    "RateProcess",
+    "btc_bch_november_2017",
+    "ConstantFees",
+    "FeeProcess",
+    "MeanRevertingFees",
+    "WhaleBoost",
+    "WhaleFeeSchedule",
+    "POOL_PROFILE_2017",
+    "pareto_population",
+    "pool_population",
+    "uniform_population",
+    "MarketScenario",
+    "ScenarioReplay",
+    "btc_bch_scenario",
+    "multi_coin_scenario",
+    "WeightSeries",
+    "build_weight_series",
+    "weight_path",
+]

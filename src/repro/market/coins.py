@@ -1,0 +1,80 @@
+"""Coin specifications: the protocol-level economics of each currency.
+
+A :class:`CoinSpec` captures what determines a coin's *weight* in the
+paper's sense — "a coin's weight (or reward) depends on its transaction
+rate, transaction fees, and its fiat exchange rate" (Section 1):
+
+* the target block interval and per-block subsidy (protocol constants),
+* a fee level per block (market-driven, see :mod:`repro.market.fees`),
+* the fiat exchange rate (market-driven, see
+  :mod:`repro.market.exchange_rates`).
+
+The weight in fiat per unit time is
+``(subsidy + fees) · rate / block_interval`` — computed by
+:mod:`repro.market.weights`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class CoinSpec:
+    """Protocol-level parameters of one proof-of-work coin."""
+
+    name: str
+    #: Target seconds between blocks (600 for Bitcoin and Bitcoin Cash).
+    block_interval_s: float
+    #: Block subsidy in coin units (12.5 BTC in November 2017).
+    block_subsidy: float
+    #: Average fees per block in coin units.
+    fees_per_block: float = 0.0
+    #: Label of the PoW algorithm; miners can only mine coins whose
+    #: algorithm matches their hardware (the paper's "asymmetric case").
+    algorithm: str = "sha256d"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("coin spec needs a name")
+        if self.block_interval_s <= 0:
+            raise SimulationError(
+                f"{self.name}: block interval must be positive, got {self.block_interval_s}"
+            )
+        if self.block_subsidy < 0 or self.fees_per_block < 0:
+            raise SimulationError(f"{self.name}: subsidy and fees must be non-negative")
+        if self.block_subsidy + self.fees_per_block <= 0:
+            raise SimulationError(f"{self.name}: a coin must pay something per block")
+
+    @property
+    def coins_per_block(self) -> float:
+        """Total coin units paid per block (subsidy + fees)."""
+        return self.block_subsidy + self.fees_per_block
+
+    @property
+    def blocks_per_hour(self) -> float:
+        return 3600.0 / self.block_interval_s
+
+
+def bitcoin_spec(fees_per_block: float = 2.0) -> CoinSpec:
+    """Bitcoin circa November 2017 (12.5 BTC subsidy, 10-minute blocks)."""
+    return CoinSpec(
+        name="BTC",
+        block_interval_s=600.0,
+        block_subsidy=12.5,
+        fees_per_block=fees_per_block,
+        algorithm="sha256d",
+    )
+
+
+def bitcoin_cash_spec(fees_per_block: float = 0.3) -> CoinSpec:
+    """Bitcoin Cash circa November 2017 (same subsidy schedule as BTC)."""
+    return CoinSpec(
+        name="BCH",
+        block_interval_s=600.0,
+        block_subsidy=12.5,
+        fees_per_block=fees_per_block,
+        algorithm="sha256d",
+    )

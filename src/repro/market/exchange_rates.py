@@ -1,0 +1,143 @@
+"""Exchange-rate processes: the fiat price paths that drive coin weights.
+
+The paper's Figure 1 shows the November 2017 episode where a swing in
+the BTC/BCH exchange rate pulled hashrate from Bitcoin to Bitcoin Cash.
+Real tick data is proprietary-ish and unnecessary: the game reacts only
+to the *weight ratio* between coins, so a jump-diffusion path with the
+right swing magnitude exercises exactly the same code path
+(substitution documented in DESIGN.md §4).
+
+All processes are deterministic functions of (seed, time grid), so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.util.rng import RngLike, make_rng
+
+
+class RateProcess(abc.ABC):
+    """A fiat exchange-rate path sampled on a time grid (hours)."""
+
+    @abc.abstractmethod
+    def sample(self, times_h: Sequence[float], seed: RngLike = None) -> np.ndarray:
+        """Rates at each time in *times_h* (strictly positive array)."""
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateProcess):
+    """A flat exchange rate; the control case."""
+
+    level: float
+
+    def __post_init__(self) -> None:
+        if self.level <= 0:
+            raise SimulationError(f"rate level must be positive, got {self.level}")
+
+    def sample(self, times_h, seed=None):
+        return np.full(len(times_h), self.level, dtype=float)
+
+
+@dataclass(frozen=True)
+class GeometricBrownianRate(RateProcess):
+    """Geometric Brownian motion: ordinary day-to-day price wiggle."""
+
+    initial: float
+    drift_per_h: float = 0.0
+    volatility_per_sqrt_h: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0:
+            raise SimulationError(f"initial rate must be positive, got {self.initial}")
+        if self.volatility_per_sqrt_h < 0:
+            raise SimulationError("volatility must be non-negative")
+
+    def sample(self, times_h, seed=None):
+        rng = make_rng(seed)
+        times = np.asarray(times_h, dtype=float)
+        if len(times) == 0:
+            return np.array([])
+        if np.any(np.diff(times) < 0):
+            raise SimulationError("time grid must be non-decreasing")
+        steps = np.diff(times, prepend=times[0])
+        shocks = rng.normal(0.0, 1.0, len(times)) * np.sqrt(np.maximum(steps, 0.0))
+        log_path = np.cumsum(
+            (self.drift_per_h - 0.5 * self.volatility_per_sqrt_h**2) * steps
+            + self.volatility_per_sqrt_h * shocks
+        )
+        return self.initial * np.exp(log_path - log_path[0])
+
+
+@dataclass(frozen=True)
+class JumpEvent:
+    """A deterministic multiplicative jump at a point in time.
+
+    ``half_life_h`` lets the jump decay back toward the pre-jump level
+    (0 means permanent), reproducing spike-and-revert episodes.
+    """
+
+    at_h: float
+    factor: float
+    half_life_h: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise SimulationError(f"jump factor must be positive, got {self.factor}")
+        if self.half_life_h < 0:
+            raise SimulationError("half life must be non-negative")
+
+
+@dataclass(frozen=True)
+class JumpDiffusionRate(RateProcess):
+    """GBM plus scheduled jumps — the Figure 1 scenario generator."""
+
+    base: GeometricBrownianRate
+    jumps: Tuple[JumpEvent, ...] = ()
+
+    def sample(self, times_h, seed=None):
+        times = np.asarray(times_h, dtype=float)
+        path = self.base.sample(times, seed=seed)
+        for jump in self.jumps:
+            multiplier = np.ones_like(path)
+            after = times >= jump.at_h
+            if jump.half_life_h > 0:
+                decay = 0.5 ** ((times[after] - jump.at_h) / jump.half_life_h)
+                multiplier[after] = 1.0 + (jump.factor - 1.0) * decay
+            else:
+                multiplier[after] = jump.factor
+            path = path * multiplier
+        return path
+
+
+def btc_bch_november_2017(
+    *,
+    horizon_h: float = 240.0,
+    resolution_h: float = 1.0,
+) -> Tuple[np.ndarray, JumpDiffusionRate, JumpDiffusionRate]:
+    """The Figure 1 scenario: BTC flat-ish, BCH spikes ~3× and reverts.
+
+    Returns ``(time grid, BTC rate process, BCH rate process)``.
+    Calibration: around November 12, 2017 the BCH/USD price tripled
+    within days while BTC dipped, flipping relative mining
+    profitability; the spike decayed over roughly a week. Magnitudes
+    here match that shape, which is all the game dynamics consume.
+    """
+    if horizon_h <= 0 or resolution_h <= 0:
+        raise SimulationError("horizon and resolution must be positive")
+    times = np.arange(0.0, horizon_h + 1e-9, resolution_h)
+    btc = JumpDiffusionRate(
+        base=GeometricBrownianRate(initial=6500.0, volatility_per_sqrt_h=0.004),
+        jumps=(JumpEvent(at_h=96.0, factor=0.85, half_life_h=72.0),),
+    )
+    bch = JumpDiffusionRate(
+        base=GeometricBrownianRate(initial=620.0, volatility_per_sqrt_h=0.008),
+        jumps=(JumpEvent(at_h=96.0, factor=3.0, half_life_h=48.0),),
+    )
+    return times, btc, bch

@@ -1,0 +1,109 @@
+"""Fee processes: per-block transaction fees over time.
+
+Fees are the second lever of a coin's weight and the instrument of the
+"whale transaction" manipulation (Liao & Katz 2017, cited by the paper):
+an interested party can temporarily raise a coin's effective reward by
+stuffing high-fee transactions into its mempool. A
+:class:`WhaleFeeSchedule` overlays such deliberate boosts on an organic
+fee process.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.util.rng import RngLike, make_rng
+
+
+class FeeProcess(abc.ABC):
+    """Per-block fee level (coin units) sampled on a time grid (hours)."""
+
+    @abc.abstractmethod
+    def sample(self, times_h: Sequence[float], seed: RngLike = None) -> np.ndarray:
+        """Fee-per-block at each time (non-negative array)."""
+
+
+@dataclass(frozen=True)
+class ConstantFees(FeeProcess):
+    """A flat organic fee level."""
+
+    per_block: float
+
+    def __post_init__(self) -> None:
+        if self.per_block < 0:
+            raise SimulationError(f"fees must be non-negative, got {self.per_block}")
+
+    def sample(self, times_h, seed=None):
+        return np.full(len(times_h), self.per_block, dtype=float)
+
+
+@dataclass(frozen=True)
+class MeanRevertingFees(FeeProcess):
+    """Ornstein–Uhlenbeck-style fees: congestion comes and goes."""
+
+    mean_per_block: float
+    reversion_per_h: float = 0.1
+    volatility: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mean_per_block < 0:
+            raise SimulationError("mean fee level must be non-negative")
+        if self.reversion_per_h <= 0:
+            raise SimulationError("reversion speed must be positive")
+
+    def sample(self, times_h, seed=None):
+        rng = make_rng(seed)
+        times = np.asarray(times_h, dtype=float)
+        if len(times) == 0:
+            return np.array([])
+        level = self.mean_per_block
+        path = np.empty(len(times))
+        previous_t = times[0]
+        for index, t in enumerate(times):
+            dt = max(t - previous_t, 0.0)
+            level += self.reversion_per_h * (self.mean_per_block - level) * dt
+            level += self.volatility * np.sqrt(dt) * rng.normal()
+            level = max(level, 0.0)
+            path[index] = level
+            previous_t = t
+        return path
+
+
+@dataclass(frozen=True)
+class WhaleBoost:
+    """A deliberate fee injection: extra fees per block over a window."""
+
+    start_h: float
+    end_h: float
+    extra_per_block: float
+
+    def __post_init__(self) -> None:
+        if self.end_h <= self.start_h:
+            raise SimulationError("whale boost window must have positive length")
+        if self.extra_per_block <= 0:
+            raise SimulationError("whale boost must add positive fees")
+
+    def total_spend(self, blocks_per_hour: float) -> float:
+        """Coin units the whale spends to sustain this boost."""
+        return self.extra_per_block * blocks_per_hour * (self.end_h - self.start_h)
+
+
+@dataclass(frozen=True)
+class WhaleFeeSchedule(FeeProcess):
+    """Organic fees plus scheduled whale injections."""
+
+    organic: FeeProcess
+    boosts: Tuple[WhaleBoost, ...] = ()
+
+    def sample(self, times_h, seed=None):
+        times = np.asarray(times_h, dtype=float)
+        path = self.organic.sample(times, seed=seed).copy()
+        for boost in self.boosts:
+            active = (times >= boost.start_h) & (times < boost.end_h)
+            path[active] += boost.extra_per_block
+        return path

@@ -1,0 +1,94 @@
+"""Miner populations: realistic hashpower distributions.
+
+The game's predictions depend on the *shape* of the power distribution
+(a handful of big pools vs. a long tail), so experiments draw
+populations from named profiles rather than ad-hoc uniforms. Powers are
+produced as exact fractions with per-index jitter, so strictness
+(required by the Section 5 mechanism) and genericity hold by
+construction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.miner import Miner, make_miners, sorted_by_power
+from repro.exceptions import SimulationError
+from repro.util.rng import RngLike, make_rng
+
+_GRID = 10**9
+
+#: Approximate November-2017 SHA256d pool shares (fraction of network),
+#: from public pool statistics: a few large pools plus a tail.
+POOL_PROFILE_2017: Sequence[float] = (
+    0.185, 0.135, 0.115, 0.095, 0.07, 0.06, 0.05, 0.04, 0.035, 0.03,
+    0.025, 0.02, 0.02, 0.015, 0.015, 0.01, 0.01, 0.01, 0.01, 0.05,
+)
+
+
+def _snap(values: np.ndarray) -> List[Fraction]:
+    """Snap floats to a fine rational grid with unique per-index jitter."""
+    count = len(values)
+    snapped = []
+    for index, value in enumerate(values):
+        numerator = int(round(float(value) * _GRID)) * (count + 1) + (index + 1)
+        snapped.append(Fraction(numerator, _GRID * (count + 1)))
+    return snapped
+
+
+def uniform_population(
+    n: int, *, low: float = 1.0, high: float = 100.0, seed: RngLike = None
+) -> List[Miner]:
+    """*n* miners with powers uniform on [low, high], strictly distinct."""
+    if n < 1:
+        raise SimulationError(f"population size must be ≥ 1, got {n}")
+    if not 0 < low < high:
+        raise SimulationError(f"need 0 < low < high, got {low}, {high}")
+    rng = make_rng(seed)
+    powers = _snap(rng.uniform(low, high, n))
+    return list(sorted_by_power(make_miners(powers)))
+
+
+def pareto_population(
+    n: int, *, scale: float = 1.0, alpha: float = 1.2, seed: RngLike = None
+) -> List[Miner]:
+    """Heavy-tailed powers: few whales, long tail of small miners."""
+    if n < 1:
+        raise SimulationError(f"population size must be ≥ 1, got {n}")
+    if scale <= 0 or alpha <= 0:
+        raise SimulationError("scale and alpha must be positive")
+    rng = make_rng(seed)
+    powers = _snap(scale * (1.0 + rng.pareto(alpha, n)))
+    return list(sorted_by_power(make_miners(powers)))
+
+
+def pool_population(
+    total_power: float = 1000.0,
+    profile: Sequence[float] = POOL_PROFILE_2017,
+    *,
+    tail_miners: int = 0,
+    seed: RngLike = None,
+) -> List[Miner]:
+    """A 2017-like pool landscape, optionally with a small-miner tail.
+
+    The last profile entry is the 'other' share; when ``tail_miners > 0``
+    it is split into that many small independent miners.
+    """
+    if total_power <= 0:
+        raise SimulationError("total power must be positive")
+    if abs(sum(profile) - 1.0) > 1e-6:
+        raise SimulationError("pool profile shares must sum to 1")
+    rng = make_rng(seed)
+    shares = list(profile)
+    values: List[float] = []
+    if tail_miners > 0:
+        other = shares.pop()
+        values.extend(total_power * share for share in shares)
+        splits = rng.dirichlet(np.ones(tail_miners)) * total_power * other
+        values.extend(float(s) for s in splits)
+    else:
+        values.extend(total_power * share for share in shares)
+    return list(sorted_by_power(make_miners(_snap(np.asarray(values)))))

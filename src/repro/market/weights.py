@@ -1,0 +1,94 @@
+"""Coin weights: from protocol + market state to the game's ``F(c)``.
+
+The paper abstracts each coin into a single weight that it divides
+among its miners. This module computes that weight from first
+principles:
+
+    ``weight(c, t) = (subsidy + fees(t)) · rate(t) / block_interval``
+
+i.e. fiat value minted per unit time. A weight *series* over a time
+grid turns a market scenario into a sequence of reward functions, and
+therefore a sequence of games — which is how the Figure 1 experiment
+replays a market episode through the game model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coin import Coin, RewardFunction
+from repro.exceptions import SimulationError
+from repro.market.coins import CoinSpec
+
+
+@dataclass(frozen=True)
+class WeightSeries:
+    """Per-coin weight paths on a shared time grid (hours)."""
+
+    times_h: np.ndarray
+    #: coin name → weight path (fiat/hour), same length as times_h.
+    weights: Dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        for name, path in self.weights.items():
+            if len(path) != len(self.times_h):
+                raise SimulationError(
+                    f"weight path of {name!r} has {len(path)} points but the "
+                    f"time grid has {len(self.times_h)}"
+                )
+            if np.any(path <= 0):
+                raise SimulationError(f"weights of {name!r} must stay positive")
+
+    def at(self, index: int) -> Dict[str, float]:
+        """The weight of every coin at time-grid position *index*."""
+        return {name: float(path[index]) for name, path in self.weights.items()}
+
+    def reward_function(self, index: int, coins: Sequence[Coin]) -> RewardFunction:
+        """An exact reward function snapshot for the game layer.
+
+        Floats are converted exactly (every float is a dyadic rational),
+        so downstream stability checks remain tie-safe.
+        """
+        values = []
+        for coin in coins:
+            if coin.name not in self.weights:
+                raise SimulationError(f"no weight path for coin {coin.name!r}")
+            values.append(Fraction(float(self.weights[coin.name][index])))
+        return RewardFunction.from_values(coins, values)
+
+    def ratio(self, numerator: str, denominator: str) -> np.ndarray:
+        """The weight ratio path between two coins (profitability ratio)."""
+        return self.weights[numerator] / self.weights[denominator]
+
+    def __len__(self) -> int:
+        return len(self.times_h)
+
+
+def weight_path(
+    spec: CoinSpec,
+    rates: np.ndarray,
+    fees: np.ndarray,
+) -> np.ndarray:
+    """Fiat minted per hour for one coin along rate and fee paths."""
+    if len(rates) != len(fees):
+        raise SimulationError(
+            f"rate path ({len(rates)}) and fee path ({len(fees)}) lengths differ"
+        )
+    return (spec.block_subsidy + fees) * rates * spec.blocks_per_hour
+
+
+def build_weight_series(
+    times_h: np.ndarray,
+    components: Sequence[Tuple[CoinSpec, np.ndarray, np.ndarray]],
+) -> WeightSeries:
+    """Assemble a :class:`WeightSeries` from per-coin (spec, rates, fees)."""
+    weights: Dict[str, np.ndarray] = {}
+    for spec, rates, fees in components:
+        if spec.name in weights:
+            raise SimulationError(f"duplicate coin {spec.name!r} in weight series")
+        weights[spec.name] = weight_path(spec, rates, fees)
+    return WeightSeries(times_h=np.asarray(times_h, dtype=float), weights=weights)

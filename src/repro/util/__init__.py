@@ -1,0 +1,17 @@
+"""Shared utilities: seeded RNG, ASCII tables, validation helpers."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.sparkline import labeled_sparkline, sparkline
+from repro.util.tables import Table, format_table
+from repro.util.validation import require, require_type
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "labeled_sparkline",
+    "sparkline",
+    "Table",
+    "format_table",
+    "require",
+    "require_type",
+]

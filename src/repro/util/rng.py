@@ -1,0 +1,43 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic components in the library accept either a seed or a
+``numpy.random.Generator``. Centralizing construction here keeps
+experiments reproducible: the same seed always yields the same game,
+trajectory and simulation output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    ``None`` gives a fresh nondeterministic generator; an ``int`` seeds a
+    PCG64 stream; an existing generator is passed through unchanged so
+    callers can share one stream across components.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int or numpy Generator, got {type(seed).__name__}")
+
+
+def spawn_rngs(seed: RngLike, count: int) -> Sequence[np.random.Generator]:
+    """Split one seed into *count* independent generators.
+
+    Used by parameter sweeps so each cell of the sweep gets its own
+    stream and reordering cells does not change any cell's randomness.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed if isinstance(seed, (int, np.integer)) else None)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

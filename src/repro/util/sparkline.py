@@ -1,0 +1,45 @@
+"""Unicode sparklines for time series in terminal reports.
+
+Used by examples and the CLI to show hashrate-share and price paths
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, lo: float = None, hi: float = None) -> str:
+    """Render *values* as a one-line unicode bar chart.
+
+    ``lo``/``hi`` pin the scale (defaults: the series min/max); constant
+    series render as a flat mid-height line.
+    """
+    if len(values) == 0:
+        return ""
+    floats = [float(v) for v in values]
+    low = min(floats) if lo is None else lo
+    high = max(floats) if hi is None else hi
+    if high <= low:
+        return _BARS[3] * len(floats)
+    span = high - low
+    chars = []
+    for value in floats:
+        clamped = min(max(value, low), high)
+        index = int((clamped - low) / span * (len(_BARS) - 1))
+        chars.append(_BARS[index])
+    return "".join(chars)
+
+
+def labeled_sparkline(
+    label: str, values: Sequence[float], *, width: int = 24, **kwargs
+) -> str:
+    """``label  ▁▂▅█▆▃  [min..max]`` with the label left-padded."""
+    if len(values) == 0:
+        return f"{label:<{width}} (empty)"
+    line = sparkline(values, **kwargs)
+    low = min(float(v) for v in values)
+    high = max(float(v) for v in values)
+    return f"{label:<{width}} {line}  [{low:.3g} .. {high:.3g}]"

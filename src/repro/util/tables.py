@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment and benchmark reports.
+
+The benchmark harness prints each paper table/figure as an ASCII table;
+keeping the renderer here (instead of depending on a plotting stack)
+keeps the library runnable in a bare environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An incrementally built ASCII table with a title and column headers."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; values are rendered with sensible float formats."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but table {self.title!r} "
+                f"has {len(self.columns)} columns"
+            )
+        self.rows.append([_render_cell(value) for value in values])
+
+    def render(self) -> str:
+        """Render the table as a string with a ruled header."""
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(title: str, columns: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render *rows* under *columns* with padding computed per column."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(col) for col in columns]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    ruler = "-+-".join("-" * width for width in widths)
+    lines = [title, "=" * len(title), header, ruler]
+    for row in materialized:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

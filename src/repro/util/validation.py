@@ -1,0 +1,29 @@
+"""Tiny validation helpers used across the library.
+
+These keep precondition checks one-liners at function entry, following
+the "return/raise early on bad input" idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def require(condition: bool, message: str, error: Type[Exception] = ValueError) -> None:
+    """Raise *error* with *message* unless *condition* holds."""
+    if not condition:
+        raise error(message)
+
+
+def require_type(
+    value: Any,
+    types: Union[Type, Tuple[Type, ...]],
+    name: str,
+) -> None:
+    """Raise ``TypeError`` naming *name* unless *value* is an instance of *types*."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

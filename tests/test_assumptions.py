@@ -1,0 +1,98 @@
+"""Tests for the Assumption 1/2 checkers (Section 4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.assumptions import (
+    check_generic,
+    check_never_alone,
+    configuration_violates_never_alone,
+    find_genericity_violation,
+    require_section4_assumptions,
+)
+from repro.core.configuration import Configuration
+from repro.core.factories import random_game
+from repro.core.game import Game
+from repro.exceptions import AssumptionViolatedError, InvalidModelError
+
+
+class TestGenericity:
+    def test_symmetric_game_is_degenerate(self):
+        # F(c1)/m1 == F(c2)/m1 when F is constant: blatantly non-generic.
+        game = Game.create([2, 1], [1, 1])
+        assert not check_generic(game)
+        witness = find_genericity_violation(game)
+        assert witness is not None
+        value, coin_a, coin_b = witness
+        assert coin_a != coin_b
+
+    def test_crafted_violation_detected(self):
+        # F(c1)/m1 = 4/2 = F(c2)/m2 = 2/1.
+        game = Game.create([2, 1], [4, 2])
+        assert not check_generic(game)
+
+    def test_random_games_are_generic(self):
+        for seed in range(10):
+            game = random_game(6, 3, seed=seed)
+            assert check_generic(game), f"seed {seed} drew a degenerate game"
+
+    def test_generic_game_has_no_witness(self):
+        game = random_game(5, 2, seed=0)
+        assert find_genericity_violation(game) is None
+
+    def test_size_guard(self):
+        game = random_game(20, 2, seed=0)
+        with pytest.raises(InvalidModelError, match="exponential"):
+            check_generic(game)
+
+
+class TestNeverAlone:
+    def test_violation_witness(self):
+        # One giant coin and a worthless one: a miner alone on the
+        # worthless coin attracts nobody.
+        game = Game.create([10, 9, 8], [1000, 1])
+        c1, c2 = game.coins
+        config = Configuration(game.miners, [c1, c1, c1])
+        # c2 is empty and no one benefits from moving there alone?
+        # Moving there gives payoff 1 (full reward); staying gives a
+        # share of 1000 — staying wins, so A1 is violated at config.
+        assert configuration_violates_never_alone(game, config)
+        assert not check_never_alone(game, exhaustive_limit=100)
+
+    def test_holds_for_balanced_game(self):
+        found = False
+        for seed in range(20):
+            game = random_game(8, 2, seed=seed)
+            if check_never_alone(game, exhaustive_limit=300):
+                found = True
+                break
+        assert found, "expected at least one A1-satisfying 8×2 game"
+
+    def test_sampled_mode_runs(self):
+        game = random_game(30, 2, seed=1)
+        # 2^30 configurations: must go through the sampling path.
+        result = check_never_alone(game, exhaustive_limit=1000, samples=50, seed=3)
+        assert result in (True, False)
+
+
+class TestRequireSection4:
+    def test_too_few_miners_rejected(self):
+        game = random_game(3, 2, seed=0)
+        with pytest.raises(AssumptionViolatedError, match="2|C|"):
+            require_section4_assumptions(game)
+
+    def test_degenerate_game_rejected(self):
+        game = Game.create([8, 7, 6, 5, 4, 3], [1, 1])
+        # Constant rewards violate A2 (and the A1 check may also fail);
+        # either way the guard must raise.
+        with pytest.raises(AssumptionViolatedError):
+            require_section4_assumptions(game)
+
+    def test_good_game_passes(self):
+        for seed in range(20):
+            game = random_game(8, 2, seed=seed, ensure_generic=True)
+            if check_never_alone(game, exhaustive_limit=300):
+                require_section4_assumptions(game)
+                return
+        pytest.skip("no A1-satisfying game found in 20 seeds")

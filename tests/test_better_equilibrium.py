@@ -1,0 +1,85 @@
+"""Tests for Proposition 2 witness search."""
+
+import pytest
+
+from repro.core.assumptions import check_never_alone
+from repro.core.equilibrium import enumerate_equilibria
+from repro.core.factories import random_game
+from repro.manipulation.better_equilibrium import (
+    find_better_equilibrium_exhaustive,
+    find_better_equilibrium_sampled,
+    improvement_opportunities,
+)
+
+
+def _assumption_game(seed_range=range(30)):
+    for seed in seed_range:
+        game = random_game(6, 2, seed=seed, ensure_generic=True)
+        if not check_never_alone(game, exhaustive_limit=300):
+            continue
+        equilibria = enumerate_equilibria(game)
+        if len(equilibria) >= 2:
+            return game, equilibria
+    raise AssertionError("no suitable game found")
+
+
+class TestExhaustive:
+    def test_proposition2_holds(self):
+        # Under A1+A2 with >1 equilibrium, EVERY equilibrium has a witness.
+        game, equilibria = _assumption_game()
+        for equilibrium in equilibria:
+            witness = find_better_equilibrium_exhaustive(game, equilibrium)
+            assert witness is not None
+            assert witness.gain > 0
+            assert witness.payoff_after == game.payoff(witness.miner, witness.target)
+
+    def test_witness_target_is_stable(self):
+        game, equilibria = _assumption_game()
+        witness = find_better_equilibrium_exhaustive(game, equilibria[0])
+        assert game.is_stable(witness.target)
+
+    def test_gain_ratio_above_one(self):
+        game, equilibria = _assumption_game()
+        witness = find_better_equilibrium_exhaustive(game, equilibria[0])
+        assert witness.gain_ratio > 1.0
+
+
+class TestSampled:
+    def test_sampled_witness_is_exact(self):
+        game, equilibria = _assumption_game()
+        witness = find_better_equilibrium_sampled(
+            game, equilibria[0], samples=40, seed=1
+        )
+        if witness is None:
+            pytest.skip("sampling missed all other equilibria (unlucky)")
+        assert game.is_stable(witness.target)
+        assert game.payoff(witness.miner, witness.target) > game.payoff(
+            witness.miner, equilibria[0]
+        )
+
+    def test_sampled_gain_never_exceeds_exhaustive(self):
+        game, equilibria = _assumption_game()
+        exhaustive = find_better_equilibrium_exhaustive(game, equilibria[0])
+        sampled = find_better_equilibrium_sampled(
+            game, equilibria[0], samples=40, seed=2
+        )
+        if sampled is not None:
+            assert sampled.gain <= exhaustive.gain
+
+
+class TestOpportunities:
+    def test_sorted_by_gain(self):
+        game, equilibria = _assumption_game()
+        opportunities = improvement_opportunities(game, equilibria[0], equilibria)
+        gains = [imp.gain for imp in opportunities]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_excludes_current(self):
+        game, equilibria = _assumption_game()
+        opportunities = improvement_opportunities(game, equilibria[0], equilibria)
+        assert all(imp.target != equilibria[0] for imp in opportunities)
+
+    def test_all_gains_strict(self):
+        game, equilibria = _assumption_game()
+        opportunities = improvement_opportunities(game, equilibria[0], equilibria)
+        assert all(imp.gain > 0 for imp in opportunities)

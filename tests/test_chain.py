@@ -1,0 +1,60 @@
+"""Tests for blockchain bookkeeping."""
+
+import pytest
+
+from repro.chainsim.chain import Blockchain
+from repro.chainsim.difficulty import StaticDifficulty
+from repro.exceptions import SimulationError
+from repro.market.coins import bitcoin_spec
+
+
+@pytest.fixture
+def chain():
+    return Blockchain(spec=bitcoin_spec(), difficulty=100.0, rule=StaticDifficulty())
+
+
+class TestAppend:
+    def test_heights_sequential(self, chain):
+        chain.append(0.1, "a")
+        chain.append(0.2, "b")
+        assert [b.height for b in chain.blocks] == [0, 1]
+        assert chain.height == 2
+
+    def test_reward_paid_per_block(self, chain):
+        block = chain.append(0.1, "a")
+        assert block.reward_coins == bitcoin_spec().coins_per_block
+
+    def test_time_must_not_decrease(self, chain):
+        chain.append(1.0, "a")
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            chain.append(0.5, "b")
+
+    def test_positive_difficulty_required(self):
+        with pytest.raises(SimulationError):
+            Blockchain(spec=bitcoin_spec(), difficulty=0.0)
+
+
+class TestQueries:
+    def test_rewards_by_miner(self, chain):
+        chain.append(0.1, "a")
+        chain.append(0.2, "a")
+        chain.append(0.3, "b")
+        rewards = chain.rewards_by_miner()
+        assert rewards["a"] == pytest.approx(2 * bitcoin_spec().coins_per_block)
+        assert rewards["b"] == pytest.approx(bitcoin_spec().coins_per_block)
+
+    def test_blocks_in_window(self, chain):
+        for t in (0.5, 1.5, 2.5, 3.5):
+            chain.append(t, "a")
+        assert chain.blocks_in_window(1.0, 3.0) == 2
+
+    def test_mean_interval(self, chain):
+        for t in (0.0, 1.0, 2.0, 4.0):
+            chain.append(t, "a")
+        assert chain.mean_interval_h() == pytest.approx(4.0 / 3)
+        assert chain.mean_interval_h(last=1) == pytest.approx(2.0)
+
+    def test_mean_interval_needs_two_blocks(self, chain):
+        assert chain.mean_interval_h() is None
+        chain.append(0.0, "a")
+        assert chain.mean_interval_h() is None

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_experiments(self):
+        code, text = _run(["list"])
+        assert code == 0
+        for i in range(1, 15):
+            assert f"E{i} " in text or f"E{i}\n" in text or f"E{i}  " in text
+
+
+class TestRun:
+    def test_run_fast_e03(self):
+        code, text = _run(["run", "E3", "--fast", "--seed", "1"])
+        assert code == 0
+        assert "E3" in text
+        assert "metrics" in text
+
+    def test_run_fast_e05(self):
+        code, text = _run(["run", "E5", "--fast"])
+        assert code == 0
+        assert "Observation 3" in text or "E5" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            _run(["run", "E99"])
+
+
+class TestDemo:
+    def test_demo_reports_equilibrium(self):
+        code, text = _run(["demo", "--miners", "5", "--coins", "2", "--seed", "3"])
+        assert code == 0
+        assert "converged" in text
+        assert "payoffs" in text
+        assert "basins" in text
+
+
+class TestMigrate:
+    def test_migrate_prints_sparklines(self):
+        code, text = _run(["migrate", "--seed", "2017"])
+        assert code == 0
+        assert "BCH hashrate share" in text
+        assert "switches" in text
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        _run([])

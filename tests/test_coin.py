@@ -1,0 +1,122 @@
+"""Tests for coins and reward functions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.coin import Coin, RewardFunction, make_coins
+from repro.exceptions import InvalidModelError
+
+
+@pytest.fixture
+def coins():
+    return make_coins(["BTC", "BCH", "LTC"])
+
+
+@pytest.fixture
+def rewards(coins):
+    return RewardFunction.from_values(coins, [100, 30, 10])
+
+
+class TestCoin:
+    def test_equality_by_name(self):
+        assert Coin("BTC") == Coin("BTC")
+        assert Coin("BTC") != Coin("BCH")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Coin("")
+
+    def test_make_coins_rejects_duplicates(self):
+        with pytest.raises(InvalidModelError, match="duplicate"):
+            make_coins(["a", "a"])
+
+    def test_make_coins_rejects_empty(self):
+        with pytest.raises(InvalidModelError, match="at least one"):
+            make_coins([])
+
+
+class TestRewardFunction:
+    def test_lookup(self, coins, rewards):
+        assert rewards[coins[0]] == Fraction(100)
+
+    def test_lookup_by_name(self, rewards):
+        assert rewards.get_by_name("BCH") == Fraction(30)
+
+    def test_unknown_coin_lookup_fails(self, rewards):
+        with pytest.raises(InvalidModelError, match="not covered"):
+            rewards[Coin("DOGE")]
+
+    def test_unknown_name_lookup_fails(self, rewards):
+        with pytest.raises(InvalidModelError, match="DOGE"):
+            rewards.get_by_name("DOGE")
+
+    def test_total(self, rewards):
+        assert rewards.total() == Fraction(140)
+
+    def test_max_reward(self, rewards):
+        assert rewards.max_reward() == Fraction(100)
+
+    def test_contains_iter_len(self, coins, rewards):
+        assert coins[0] in rewards
+        assert set(rewards) == set(coins)
+        assert len(rewards) == 3
+
+    def test_zero_reward_rejected_by_default(self, coins):
+        with pytest.raises((InvalidModelError, ValueError)):
+            RewardFunction.from_values(coins, [1, 0, 1])
+
+    def test_allowing_zero(self, coins):
+        rewards = RewardFunction.allowing_zero({coins[0]: 1, coins[1]: 0, coins[2]: 2})
+        assert rewards[coins[1]] == 0
+
+    def test_allowing_zero_still_rejects_negative(self, coins):
+        with pytest.raises(InvalidModelError, match="non-negative"):
+            RewardFunction.allowing_zero({coins[0]: -1})
+
+    def test_mismatched_from_values(self, coins):
+        with pytest.raises(InvalidModelError, match="reward values"):
+            RewardFunction.from_values(coins, [1, 2])
+
+    def test_constant(self, coins):
+        rewards = RewardFunction.constant(coins, 5)
+        assert all(reward == 5 for _, reward in rewards.items())
+
+    def test_non_coin_key_rejected(self):
+        with pytest.raises(InvalidModelError, match="Coin"):
+            RewardFunction({"BTC": 1})
+
+
+class TestDerivedRewards:
+    def test_replacing(self, coins, rewards):
+        derived = rewards.replacing({coins[0]: 500})
+        assert derived[coins[0]] == 500
+        assert derived[coins[1]] == 30
+        assert rewards[coins[0]] == 100, "original must be untouched"
+
+    def test_replacing_unknown_coin_fails(self, rewards):
+        with pytest.raises(InvalidModelError, match="unknown coin"):
+            rewards.replacing({Coin("DOGE"): 1})
+
+    def test_boosted_adds(self, coins, rewards):
+        boosted = rewards.boosted(coins[1], 70)
+        assert boosted[coins[1]] == 100
+
+    def test_boosted_requires_positive_extra(self, coins, rewards):
+        with pytest.raises((InvalidModelError, ValueError)):
+            rewards.boosted(coins[1], 0)
+
+    def test_dominates(self, coins, rewards):
+        assert rewards.replacing({coins[0]: 200}).dominates(rewards)
+        assert rewards.dominates(rewards)
+        assert not rewards.dominates(rewards.replacing({coins[0]: 200}))
+
+    def test_dominates_different_coins_false(self, coins, rewards):
+        other = RewardFunction.from_values(make_coins(["x"]), [1])
+        assert not rewards.dominates(other)
+
+    def test_equality_and_hash(self, coins, rewards):
+        again = RewardFunction.from_values(coins, [100, 30, 10])
+        assert rewards == again
+        assert hash(rewards) == hash(again)
+        assert rewards != rewards.boosted(coins[0], 1)

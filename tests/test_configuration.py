@@ -1,0 +1,109 @@
+"""Tests for configurations (assignments of miners to coins)."""
+
+import pytest
+
+from repro.core.coin import make_coins
+from repro.core.configuration import Configuration
+from repro.core.miner import make_miners
+from repro.exceptions import InvalidConfigurationError
+
+
+@pytest.fixture
+def miners():
+    return make_miners([5, 3, 1])
+
+
+@pytest.fixture
+def coins():
+    return make_coins(["c1", "c2"])
+
+
+@pytest.fixture
+def config(miners, coins):
+    return Configuration(miners, [coins[0], coins[1], coins[0]])
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self, miners, coins):
+        with pytest.raises(InvalidConfigurationError, match="choices"):
+            Configuration(miners, [coins[0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            Configuration([], [])
+
+    def test_duplicate_miners_rejected(self, miners, coins):
+        with pytest.raises(InvalidConfigurationError, match="duplicate"):
+            Configuration([miners[0], miners[0]], [coins[0], coins[1]])
+
+    def test_from_mapping(self, miners, coins):
+        config = Configuration.from_mapping(
+            miners, {miners[0]: coins[1], miners[1]: coins[0], miners[2]: coins[0]}
+        )
+        assert config.coin_of(miners[0]) == coins[1]
+
+    def test_from_mapping_missing_miner(self, miners, coins):
+        with pytest.raises(InvalidConfigurationError, match="misses"):
+            Configuration.from_mapping(miners, {miners[0]: coins[0]})
+
+    def test_uniform(self, miners, coins):
+        config = Configuration.uniform(miners, coins[1])
+        assert all(coin == coins[1] for _, coin in config)
+
+
+class TestAccess(object):
+    def test_coin_of(self, config, miners, coins):
+        assert config.coin_of(miners[1]) == coins[1]
+
+    def test_coin_of_unknown_miner(self, config):
+        from repro.core.miner import Miner
+
+        with pytest.raises(InvalidConfigurationError, match="not in"):
+            config.coin_of(Miner.of("stranger", 1))
+
+    def test_miners_on(self, config, miners, coins):
+        assert config.miners_on(coins[0]) == (miners[0], miners[2])
+        assert config.miners_on(coins[1]) == (miners[1],)
+
+    def test_occupied_coins_order(self, config, coins):
+        assert config.occupied_coins() == (coins[0], coins[1])
+
+    def test_as_dict(self, config):
+        assert config.as_dict() == {"p1": "c1", "p2": "c2", "p3": "c1"}
+
+    def test_len_and_iter(self, config, miners):
+        assert len(config) == 3
+        assert [miner for miner, _ in config] == list(miners)
+
+
+class TestMove:
+    def test_move_changes_only_target(self, config, miners, coins):
+        moved = config.move(miners[2], coins[1])
+        assert moved.coin_of(miners[2]) == coins[1]
+        assert moved.coin_of(miners[0]) == coins[0]
+        assert config.coin_of(miners[2]) == coins[0], "original untouched"
+
+    def test_move_to_same_coin_returns_self(self, config, miners, coins):
+        assert config.move(miners[0], coins[0]) is config
+
+    def test_move_unknown_miner(self, config, coins):
+        from repro.core.miner import Miner
+
+        with pytest.raises(InvalidConfigurationError):
+            config.move(Miner.of("stranger", 1), coins[0])
+
+
+class TestValueSemantics:
+    def test_equal_configs(self, miners, coins):
+        a = Configuration(miners, [coins[0], coins[1], coins[0]])
+        b = Configuration(miners, [coins[0], coins[1], coins[0]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_configs(self, miners, coins, config):
+        other = config.move(miners[0], coins[1])
+        assert other != config
+
+    def test_usable_as_dict_key(self, config):
+        lookup = {config: "here"}
+        assert lookup[config] == "here"

@@ -1,0 +1,63 @@
+"""Tests for manipulation-cost accounting."""
+
+from fractions import Fraction
+
+from repro.core.factories import random_game
+from repro.design.cost import CostLedger, PhaseCost, phase_cost
+
+
+class TestPhaseCost:
+    def test_excess_counts_only_boosts(self):
+        game = random_game(4, 2, seed=0)
+        c1, c2 = game.coins
+        designed = game.rewards.replacing({c1: game.rewards[c1] + 10})
+        cost = phase_cost(game, designed, stage=1, iteration=1, steps=3)
+        assert cost.excess_per_round == 10
+        assert cost.rounds == 4
+        assert cost.total == 40
+
+    def test_zeroed_coin_contributes_nothing(self):
+        from repro.core.coin import RewardFunction
+
+        game = random_game(4, 2, seed=1)
+        c1, c2 = game.coins
+        designed = RewardFunction.allowing_zero(
+            {c1: game.rewards[c1] + 5, c2: 0}
+        )
+        cost = phase_cost(game, designed, stage=2, iteration=1, steps=0)
+        # c2's reward dropped below base: not a cost (you cannot be paid
+        # for removing organic rewards), so only the +5 counts.
+        assert cost.excess_per_round == 5
+
+    def test_zero_step_phase_still_costs_one_round(self):
+        game = random_game(3, 2, seed=2)
+        designed = game.rewards.replacing(
+            {game.coins[0]: game.rewards[game.coins[0]] + 1}
+        )
+        cost = phase_cost(game, designed, stage=1, iteration=1, steps=0)
+        assert cost.rounds == 1
+
+
+class TestLedger:
+    def _ledger(self):
+        ledger = CostLedger()
+        ledger.add(PhaseCost(stage=1, iteration=1, excess_per_round=Fraction(10), rounds=2))
+        ledger.add(PhaseCost(stage=2, iteration=1, excess_per_round=Fraction(3), rounds=5))
+        return ledger
+
+    def test_total(self):
+        assert self._ledger().total() == 35
+
+    def test_peak(self):
+        assert self._ledger().peak_excess_per_round() == 10
+
+    def test_rounds_and_count(self):
+        ledger = self._ledger()
+        assert ledger.total_rounds() == 7
+        assert ledger.phase_count() == 2
+
+    def test_empty_ledger(self):
+        ledger = CostLedger()
+        assert ledger.total() == 0
+        assert ledger.peak_excess_per_round() == 0
+        assert ledger.total_rounds() == 0

@@ -1,0 +1,105 @@
+"""Tests for the public reward-design auditors."""
+
+import pytest
+
+from repro.core.equilibrium import greedy_equilibrium
+from repro.core.factories import random_game
+from repro.design.reward_design import stage_rewards
+from repro.design.stages import intermediate_configuration
+from repro.design.verification import (
+    audit_stage_design,
+    check_feasible,
+    check_unique_mover,
+)
+
+
+def _stage_setup(seed=2):
+    game = random_game(5, 3, seed=seed)
+    target = greedy_equilibrium(game)
+    for stage in range(2, len(game.miners) + 1):
+        config = intermediate_configuration(game, target, stage - 1)
+        if config != intermediate_configuration(game, target, stage):
+            return game, target, stage, config
+    pytest.skip("all stages trivial for this target")
+
+
+class TestFeasibility:
+    def test_paper_mode_flags_empty_coins(self):
+        game, target, stage, config = _stage_setup()
+        designed = stage_rewards(game, target, stage, config, mode="paper")
+        problems = check_feasible(game, designed)
+        empty_coins = [c for c in game.coins if game.coin_power(c, config) == 0]
+        assert len(problems) >= len(empty_coins)
+
+    def test_feasible_mode_passes(self):
+        game, target, stage, config = _stage_setup()
+        designed = stage_rewards(game, target, stage, config, mode="feasible")
+        assert check_feasible(game, designed) == []
+
+
+class TestFeasibleModeRepairsEq4:
+    def test_feasible_designs_pass_the_full_audit(self):
+        # The library's repair of the paper's Eq. 4 / Algorithm 1
+        # inconsistency: feasible-mode designs satisfy H ≥ F AND keep
+        # the mover unique and the anchor stable, at every stage.
+        import itertools
+
+        from repro.core.equilibrium import enumerate_equilibria
+        from repro.design.mechanism import DynamicRewardDesign
+
+        checked = 0
+        for seed in range(4):
+            game = random_game(6, 3, seed=seed)
+            equilibria = enumerate_equilibria(game)
+            target = equilibria[0]
+            for stage in range(2, len(game.miners) + 1):
+                config = intermediate_configuration(game, target, stage - 1)
+                if config == intermediate_configuration(game, target, stage):
+                    continue
+                designed = stage_rewards(game, target, stage, config, mode="feasible")
+                audit = audit_stage_design(game, target, stage, config, designed)
+                assert audit.ok, (seed, stage, audit.problems)
+                checked += 1
+            # And the full mechanism needs no restarts.
+            for s0, sf in itertools.permutations(equilibria[:2], 2):
+                result = DynamicRewardDesign(mode="feasible").run(game, s0, sf, seed=5)
+                assert result.success
+                assert result.restarts == 0
+        assert checked >= 5
+
+
+class TestStageAudit:
+    def test_paper_design_satisfies_lemma1_entry(self):
+        game, target, stage, config = _stage_setup()
+        designed = stage_rewards(game, target, stage, config, mode="paper")
+        audit = audit_stage_design(game, target, stage, config, designed)
+        assert audit.unique_mover, audit.problems
+        assert audit.anchor_holds, audit.problems
+        # Paper mode is intentionally infeasible on empty coins.
+        if any(game.coin_power(c, config) == 0 for c in game.coins):
+            assert not audit.feasible
+
+    def test_broken_design_is_caught(self):
+        game, target, stage, config = _stage_setup()
+        # Sabotage: boost the destination far beyond the anchor bound so
+        # every miner wants in — the unique-mover condition must fail.
+        from repro.design.stages import ordered_miners
+
+        destination = target.coin_of(ordered_miners(game)[stage - 1])
+        broken = game.rewards.replacing(
+            {destination: game.rewards.total() * game.total_power()}
+        )
+        audit = audit_stage_design(game, target, stage, config, broken)
+        assert not audit.ok
+        assert audit.problems
+
+    def test_unique_mover_reports_wrong_name(self):
+        game, target, stage, config = _stage_setup()
+        designed = stage_rewards(game, target, stage, config, mode="paper")
+        from repro.design.stages import ordered_miners
+
+        destination = target.coin_of(ordered_miners(game)[stage - 1])
+        problems = check_unique_mover(
+            game, designed, config, "nonexistent-miner", destination
+        )
+        assert problems

@@ -1,0 +1,95 @@
+"""Tests for difficulty adjustment rules."""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.difficulty import (
+    BitcoinRetarget,
+    ComposedRule,
+    EmergencyAdjustment,
+    StaticDifficulty,
+    bch_2017_rule,
+)
+from repro.exceptions import SimulationError
+
+
+def _timestamps(count, interval):
+    return list(np.arange(count) * interval)
+
+
+class TestStatic:
+    def test_never_changes(self):
+        rule = StaticDifficulty()
+        assert rule.adjust(_timestamps(500, 0.1), 7.0, 1 / 6) == 7.0
+
+
+class TestBitcoinRetarget:
+    def test_no_adjustment_mid_window(self):
+        rule = BitcoinRetarget(window=10)
+        times = _timestamps(6, 1.0)
+        assert rule.adjust(times, 5.0, 1 / 6) == 5.0
+
+    def test_slow_blocks_lower_difficulty(self):
+        rule = BitcoinRetarget(window=10)
+        # 11 blocks at 2x the target spacing → difficulty halves.
+        times = _timestamps(11, 2 / 6)
+        adjusted = rule.adjust(times, 6.0, 1 / 6)
+        assert adjusted == pytest.approx(3.0)
+
+    def test_fast_blocks_raise_difficulty(self):
+        rule = BitcoinRetarget(window=10)
+        times = _timestamps(11, 0.5 / 6)
+        adjusted = rule.adjust(times, 6.0, 1 / 6)
+        assert adjusted == pytest.approx(12.0)
+
+    def test_clamp(self):
+        rule = BitcoinRetarget(window=10, clamp=4.0)
+        times = _timestamps(11, 100.0)  # absurdly slow
+        assert rule.adjust(times, 8.0, 1 / 6) == pytest.approx(2.0)
+
+    def test_only_fires_on_boundary(self):
+        rule = BitcoinRetarget(window=10)
+        times = _timestamps(12, 2 / 6)  # height 12: (12-1) % 10 != 0
+        assert rule.adjust(times, 6.0, 1 / 6) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BitcoinRetarget(window=1)
+        with pytest.raises(SimulationError):
+            BitcoinRetarget(clamp=1.0)
+
+
+class TestEda:
+    def test_triggers_on_slow_blocks(self):
+        rule = EmergencyAdjustment(lookback=6, trigger_factor=2.0)
+        times = _timestamps(8, 3 / 6)  # 3× target spacing
+        assert rule.adjust(times, 10.0, 1 / 6) == pytest.approx(8.0)
+
+    def test_quiet_when_on_schedule(self):
+        rule = EmergencyAdjustment(lookback=6, trigger_factor=2.0)
+        times = _timestamps(8, 1 / 6)
+        assert rule.adjust(times, 10.0, 1 / 6) == 10.0
+
+    def test_needs_history(self):
+        rule = EmergencyAdjustment(lookback=6)
+        assert rule.adjust(_timestamps(3, 10.0), 10.0, 1 / 6) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            EmergencyAdjustment(lookback=0)
+        with pytest.raises(SimulationError):
+            EmergencyAdjustment(trigger_factor=1.0)
+
+
+class TestComposition:
+    def test_rules_apply_in_order(self):
+        rule = ComposedRule((BitcoinRetarget(window=10), EmergencyAdjustment(lookback=6)))
+        times = _timestamps(11, 3 / 6)
+        # Retarget fires (slow window → /3, clamped at /4 ok) then EDA
+        # sees the same slow blocks and cuts another 20%.
+        adjusted = rule.adjust(times, 6.0, 1 / 6)
+        assert adjusted == pytest.approx(6.0 / 3 * 0.8)
+
+    def test_bch_2017_is_composed(self):
+        rule = bch_2017_rule()
+        assert isinstance(rule, ComposedRule)

@@ -1,0 +1,99 @@
+"""Tests for exchange-rate processes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.market.exchange_rates import (
+    ConstantRate,
+    GeometricBrownianRate,
+    JumpDiffusionRate,
+    JumpEvent,
+    btc_bch_november_2017,
+)
+
+
+TIMES = np.arange(0.0, 48.0, 1.0)
+
+
+class TestConstantRate:
+    def test_flat(self):
+        path = ConstantRate(100.0).sample(TIMES)
+        assert np.all(path == 100.0)
+
+    def test_positive_required(self):
+        with pytest.raises(SimulationError):
+            ConstantRate(0.0)
+
+
+class TestGbm:
+    def test_starts_at_initial(self):
+        path = GeometricBrownianRate(initial=50.0).sample(TIMES, seed=1)
+        assert path[0] == pytest.approx(50.0)
+
+    def test_always_positive(self):
+        path = GeometricBrownianRate(initial=1.0, volatility_per_sqrt_h=0.5).sample(
+            TIMES, seed=2
+        )
+        assert np.all(path > 0)
+
+    def test_reproducible(self):
+        gbm = GeometricBrownianRate(initial=10.0)
+        assert np.array_equal(gbm.sample(TIMES, seed=3), gbm.sample(TIMES, seed=3))
+
+    def test_zero_vol_is_deterministic_drift(self):
+        gbm = GeometricBrownianRate(initial=10.0, drift_per_h=0.01, volatility_per_sqrt_h=0.0)
+        path = gbm.sample(TIMES, seed=4)
+        assert path[-1] == pytest.approx(10.0 * np.exp(0.01 * (TIMES[-1] - TIMES[0])))
+
+    def test_decreasing_grid_rejected(self):
+        gbm = GeometricBrownianRate(initial=10.0)
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            gbm.sample([2.0, 1.0], seed=0)
+
+    def test_empty_grid(self):
+        assert len(GeometricBrownianRate(initial=1.0).sample([], seed=0)) == 0
+
+
+class TestJumps:
+    def test_permanent_jump(self):
+        base = GeometricBrownianRate(initial=10.0, volatility_per_sqrt_h=0.0)
+        process = JumpDiffusionRate(base=base, jumps=(JumpEvent(at_h=10.0, factor=2.0),))
+        path = process.sample(TIMES, seed=0)
+        assert path[5] == pytest.approx(10.0)
+        assert path[20] == pytest.approx(20.0)
+        assert path[-1] == pytest.approx(20.0)
+
+    def test_decaying_jump_reverts(self):
+        base = GeometricBrownianRate(initial=10.0, volatility_per_sqrt_h=0.0)
+        process = JumpDiffusionRate(
+            base=base, jumps=(JumpEvent(at_h=10.0, factor=3.0, half_life_h=5.0),)
+        )
+        path = process.sample(TIMES, seed=0)
+        assert path[10] == pytest.approx(30.0)
+        assert path[15] == pytest.approx(20.0)  # one half-life: 1 + 2/2
+        assert path[-1] < 12.0
+
+    def test_jump_factor_validated(self):
+        with pytest.raises(SimulationError):
+            JumpEvent(at_h=1.0, factor=0.0)
+
+
+class TestNovember2017:
+    def test_shapes(self):
+        times, btc, bch = btc_bch_november_2017(horizon_h=240, resolution_h=2)
+        assert len(times) == 121
+        btc_path = btc.sample(times, seed=1)
+        bch_path = bch.sample(times, seed=2)
+        assert len(btc_path) == len(times) == len(bch_path)
+
+    def test_bch_spikes_about_3x(self):
+        times, _, bch = btc_bch_november_2017()
+        path = bch.sample(times, seed=3)
+        pre = path[times < 90].mean()
+        peak = path[times >= 96].max()
+        assert 2.0 < peak / pre < 4.5
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SimulationError):
+            btc_bch_november_2017(horizon_h=0)

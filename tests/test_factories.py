@@ -1,0 +1,69 @@
+"""Tests for random game/configuration generation."""
+
+import pytest
+
+from repro.core.factories import random_configuration, random_game
+from repro.core.miner import has_strictly_decreasing_powers
+from repro.exceptions import InvalidModelError
+
+
+class TestRandomGame:
+    def test_shape(self):
+        game = random_game(7, 3, seed=0)
+        assert len(game.miners) == 7
+        assert len(game.coins) == 3
+
+    def test_reproducible(self):
+        a = random_game(5, 2, seed=42)
+        b = random_game(5, 2, seed=42)
+        assert [m.power for m in a.miners] == [m.power for m in b.miners]
+        assert [a.rewards[c] for c in a.coins] == [b.rewards[c] for c in b.coins]
+
+    def test_different_seeds_differ(self):
+        a = random_game(5, 2, seed=1)
+        b = random_game(5, 2, seed=2)
+        assert [m.power for m in a.miners] != [m.power for m in b.miners]
+
+    def test_strict_powers(self):
+        for seed in range(5):
+            game = random_game(20, 3, seed=seed)
+            assert has_strictly_decreasing_powers(game.miners)
+
+    def test_powers_within_range(self):
+        game = random_game(10, 2, power_range=(5.0, 6.0), seed=0)
+        for miner in game.miners:
+            assert 4.9 < float(miner.power) < 6.1
+
+    @pytest.mark.parametrize("distribution", ["uniform", "pareto", "lognormal"])
+    def test_distributions(self, distribution):
+        game = random_game(10, 2, power_distribution=distribution, seed=0)
+        assert len(game.miners) == 10
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(InvalidModelError, match="unknown distribution"):
+            random_game(5, 2, power_distribution="cauchy", seed=0)
+
+    def test_ensure_generic(self):
+        from repro.core.assumptions import check_generic
+
+        game = random_game(6, 3, seed=0, ensure_generic=True)
+        assert check_generic(game)
+
+    def test_zero_miners_rejected(self):
+        with pytest.raises(InvalidModelError):
+            random_game(0, 2, seed=0)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(InvalidModelError, match="low"):
+            random_game(3, 2, power_range=(5.0, 2.0), seed=0)
+
+
+class TestRandomConfiguration:
+    def test_valid_for_game(self):
+        game = random_game(6, 3, seed=1)
+        config = random_configuration(game, seed=2)
+        game.validate_configuration(config)
+
+    def test_reproducible(self):
+        game = random_game(6, 3, seed=1)
+        assert random_configuration(game, seed=5) == random_configuration(game, seed=5)

@@ -1,0 +1,78 @@
+"""Tests for fee processes and whale boosts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.market.fees import (
+    ConstantFees,
+    MeanRevertingFees,
+    WhaleBoost,
+    WhaleFeeSchedule,
+)
+
+TIMES = np.arange(0.0, 24.0, 1.0)
+
+
+class TestConstantFees:
+    def test_flat(self):
+        assert np.all(ConstantFees(2.0).sample(TIMES) == 2.0)
+
+    def test_zero_allowed(self):
+        assert np.all(ConstantFees(0.0).sample(TIMES) == 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            ConstantFees(-1.0)
+
+
+class TestMeanReverting:
+    def test_non_negative(self):
+        fees = MeanRevertingFees(mean_per_block=1.0, volatility=2.0)
+        assert np.all(fees.sample(TIMES, seed=0) >= 0)
+
+    def test_reverts_toward_mean(self):
+        fees = MeanRevertingFees(mean_per_block=5.0, reversion_per_h=0.9, volatility=0.0)
+        path = fees.sample(TIMES, seed=1)
+        # Zero volatility: path stays at the mean it started from.
+        assert path[-1] == pytest.approx(5.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MeanRevertingFees(mean_per_block=-1.0)
+        with pytest.raises(SimulationError):
+            MeanRevertingFees(mean_per_block=1.0, reversion_per_h=0.0)
+
+
+class TestWhaleSchedule:
+    def test_boost_applies_in_window_only(self):
+        schedule = WhaleFeeSchedule(
+            organic=ConstantFees(1.0),
+            boosts=(WhaleBoost(start_h=5.0, end_h=10.0, extra_per_block=3.0),),
+        )
+        path = schedule.sample(TIMES)
+        assert path[4] == 1.0
+        assert path[5] == 4.0
+        assert path[9] == 4.0
+        assert path[10] == 1.0, "end is exclusive"
+
+    def test_boosts_stack(self):
+        schedule = WhaleFeeSchedule(
+            organic=ConstantFees(0.0),
+            boosts=(
+                WhaleBoost(start_h=0.0, end_h=24.0, extra_per_block=1.0),
+                WhaleBoost(start_h=10.0, end_h=12.0, extra_per_block=2.0),
+            ),
+        )
+        path = schedule.sample(TIMES)
+        assert path[11] == 3.0
+
+    def test_total_spend(self):
+        boost = WhaleBoost(start_h=0.0, end_h=10.0, extra_per_block=2.0)
+        assert boost.total_spend(blocks_per_hour=6.0) == 120.0
+
+    def test_window_validated(self):
+        with pytest.raises(SimulationError):
+            WhaleBoost(start_h=5.0, end_h=5.0, extra_per_block=1.0)
+        with pytest.raises(SimulationError):
+            WhaleBoost(start_h=0.0, end_h=1.0, extra_per_block=0.0)

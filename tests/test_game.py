@@ -1,0 +1,177 @@
+"""Tests for the game model: payoffs, RPUs, better responses, stability.
+
+The numeric fixtures come straight from Proposition 1's worked example
+(powers [2,1], rewards [1,1]) so expected payoffs are the paper's own.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.coin import RewardFunction, make_coins
+from repro.core.configuration import Configuration
+from repro.core.factories import random_configuration, random_game
+from repro.core.game import Game
+from repro.exceptions import InvalidConfigurationError, InvalidModelError
+
+
+@pytest.fixture
+def paper_game():
+    """Proposition 1's game: m = [2, 1], F = [1, 1]."""
+    return Game.create([2, 1], [1, 1])
+
+
+@pytest.fixture
+def s1(paper_game):
+    c1 = paper_game.coins[0]
+    return Configuration(paper_game.miners, [c1, c1])
+
+
+@pytest.fixture
+def s2(paper_game):
+    c1, c2 = paper_game.coins
+    return Configuration(paper_game.miners, [c1, c2])
+
+
+class TestConstruction:
+    def test_create_sorts_by_power(self):
+        game = Game.create([1, 5, 3], [1])
+        assert [float(m.power) for m in game.miners] == [5, 3, 1]
+
+    def test_duplicate_miner_names_rejected(self):
+        from repro.core.miner import Miner
+
+        coins = make_coins(["c1"])
+        rewards = RewardFunction.from_values(coins, [1])
+        with pytest.raises(InvalidModelError, match="unique"):
+            Game([Miner.of("p", 1), Miner.of("p", 2)], coins, rewards)
+
+    def test_rewards_must_cover_coins(self):
+        from repro.core.miner import make_miners
+
+        coins = make_coins(["c1", "c2"])
+        rewards = RewardFunction.from_values(make_coins(["c1"]), [1])
+        with pytest.raises(InvalidModelError, match="cover"):
+            Game(make_miners([1]), coins, rewards)
+
+    def test_with_rewards_shares_system(self, paper_game):
+        doubled = RewardFunction.from_values(paper_game.coins, [2, 2])
+        derived = paper_game.with_rewards(doubled)
+        assert derived.miners == paper_game.miners
+        assert derived.rewards[paper_game.coins[0]] == 2
+
+    def test_named_lookups(self, paper_game):
+        assert paper_game.miner_named("p1").power == 2
+        assert paper_game.coin_named("c2").name == "c2"
+        with pytest.raises(InvalidModelError):
+            paper_game.miner_named("nobody")
+        with pytest.raises(InvalidModelError):
+            paper_game.coin_named("nocoin")
+
+    def test_configuration_builder(self, paper_game):
+        config = paper_game.configuration(["c1", "c2"])
+        assert config.coin_of(paper_game.miners[0]).name == "c1"
+
+
+class TestPaperPayoffs:
+    """The four configurations of Proposition 1, payoff by payoff."""
+
+    def test_s1_shared_coin(self, paper_game, s1):
+        p1, p2 = paper_game.miners
+        assert paper_game.payoff(p1, s1) == Fraction(2, 3)
+        assert paper_game.payoff(p2, s1) == Fraction(1, 3)
+
+    def test_s2_split(self, paper_game, s2):
+        p1, p2 = paper_game.miners
+        assert paper_game.payoff(p1, s2) == 1
+        assert paper_game.payoff(p2, s2) == 1
+
+    def test_rpu(self, paper_game, s1, s2):
+        c1, c2 = paper_game.coins
+        assert paper_game.rpu(c1, s1) == Fraction(1, 3)
+        assert paper_game.rpu(c2, s1) is None, "empty coin has no RPU"
+        assert paper_game.rpu(c1, s2) == Fraction(1, 2)
+        assert paper_game.rpu(c2, s2) == 1
+
+    def test_max_rpu_skips_empty(self, paper_game, s1):
+        assert paper_game.max_rpu(s1) == Fraction(1, 3)
+
+    def test_social_welfare(self, paper_game, s1, s2):
+        assert paper_game.social_welfare(s1) == 1, "one coin unmined"
+        assert paper_game.social_welfare(s2) == 2
+
+    def test_payoff_after_move_consistency(self, paper_game, s1):
+        p2 = paper_game.miners[1]
+        c2 = paper_game.coins[1]
+        moved = s1.move(p2, c2)
+        assert paper_game.payoff_after_move(p2, c2, s1) == paper_game.payoff(p2, moved)
+
+    def test_payoff_after_move_same_coin(self, paper_game, s1):
+        p2 = paper_game.miners[1]
+        c1 = paper_game.coins[0]
+        assert paper_game.payoff_after_move(p2, c1, s1) == paper_game.payoff(p2, s1)
+
+
+class TestBetterResponse:
+    def test_p2_improves_by_leaving(self, paper_game, s1):
+        p2 = paper_game.miners[1]
+        c2 = paper_game.coins[1]
+        assert paper_game.is_better_response(p2, c2, s1)
+        assert paper_game.better_response_moves(p2, s1) == (c2,)
+
+    def test_s2_is_stable(self, paper_game, s2):
+        assert paper_game.is_stable(s2)
+        assert paper_game.unstable_miners(s2) == ()
+
+    def test_s1_is_unstable(self, paper_game, s1):
+        assert not paper_game.is_stable(s1)
+        unstable = paper_game.unstable_miners(s1)
+        assert paper_game.miners[1] in unstable
+
+    def test_best_response(self, paper_game, s1):
+        p2 = paper_game.miners[1]
+        assert paper_game.best_response(p2, s1) == paper_game.coins[1]
+        assert paper_game.best_response(p2, s1.move(p2, paper_game.coins[1])) is None
+
+    def test_staying_is_never_a_better_response(self, paper_game, s1):
+        p1 = paper_game.miners[0]
+        assert not paper_game.is_better_response(p1, s1.coin_of(p1), s1)
+
+
+class TestFastPathEquivalence:
+    """The cached-power methods must agree with the reference ones."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unstable_sets_match(self, seed):
+        game = random_game(8, 3, seed=seed)
+        config = random_configuration(game, seed=seed + 100)
+        powers = game.coin_power_map(config)
+        assert game.unstable_miners_given(config, powers) == game.unstable_miners(config)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_moves_match(self, seed):
+        game = random_game(6, 4, seed=seed)
+        config = random_configuration(game, seed=seed + 100)
+        powers = game.coin_power_map(config)
+        for miner in game.miners:
+            assert game.better_response_moves_given(
+                miner, config, powers
+            ) == game.better_response_moves(miner, config)
+
+    def test_power_map_totals(self):
+        game = random_game(10, 3, seed=1)
+        config = random_configuration(game, seed=2)
+        powers = game.coin_power_map(config)
+        assert sum(powers.values()) == game.total_power()
+
+
+class TestValidation:
+    def test_foreign_configuration_rejected(self, paper_game):
+        other = random_game(3, 2, seed=0)
+        config = random_configuration(other, seed=1)
+        with pytest.raises(InvalidConfigurationError):
+            paper_game.validate_configuration(config)
+
+    def test_enumeration_count(self, paper_game):
+        assert paper_game.configuration_count() == 4
+        assert len(list(paper_game.all_configurations())) == 4

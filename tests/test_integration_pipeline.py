@@ -1,0 +1,72 @@
+"""Integration: the full manipulation pipeline across all subsystems.
+
+Exercises core → learning → manipulation → design → cost-models in one
+flow, the way the README's headline example uses the library.
+"""
+
+import pytest
+
+from repro.core.equilibrium import enumerate_equilibria
+from repro.core.factories import random_game
+from repro.design.mechanism import DynamicRewardDesign
+from repro.learning.engine import LearningEngine
+from repro.learning.policies import MinimalGainPolicy
+from repro.learning.schedulers import SmallestFirstScheduler
+from repro.manipulation.better_equilibrium import improvement_opportunities
+from repro.manipulation.whale import manipulation_roi
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    for seed in range(25):
+        game = random_game(6, 2, seed=seed, ensure_generic=True)
+        equilibria = enumerate_equilibria(game)
+        if len(equilibria) < 2:
+            continue
+        start = equilibria[0]
+        opportunities = improvement_opportunities(game, start, equilibria)
+        if opportunities:
+            return game, start, opportunities[0]
+    raise AssertionError("no manipulable game found")
+
+
+def test_full_manipulation_flow(pipeline):
+    game, start, opportunity = pipeline
+
+    # 1. Execute the manipulation against an adversarial learner.
+    mechanism = DynamicRewardDesign(
+        policy=MinimalGainPolicy(), scheduler=SmallestFirstScheduler()
+    )
+    result = mechanism.run(game, start, opportunity.target, seed=11)
+    assert result.success
+
+    # 2. The beneficiary got exactly the promised payoff.
+    assert game.payoff(opportunity.miner, result.final) == opportunity.payoff_after
+
+    # 3. The target persists: it is stable under the ORGANIC rewards,
+    #    so post-manipulation learning does not move the system.
+    settle = LearningEngine().run(game, result.final, seed=12)
+    assert settle.length == 0
+
+    # 4. The manipulation has a finite price and a finite break-even.
+    roi = manipulation_roi(game, opportunity.miner, start, result.final, result.ledger)
+    assert roi.cost > 0
+    assert roi.break_even_rounds is not None
+    assert roi.roi_at(int(roi.break_even_rounds) + 100) > 0
+
+
+def test_manipulation_is_zero_sum_in_welfare(pipeline):
+    """Observation 3: both equilibria have the same total welfare — the
+    manipulation redistributes, it does not create value."""
+    game, start, opportunity = pipeline
+    assert game.social_welfare(start) == game.social_welfare(opportunity.target)
+
+
+def test_someone_pays_for_the_gain(pipeline):
+    game, start, opportunity = pipeline
+    losers = [
+        miner
+        for miner in game.miners
+        if game.payoff(miner, opportunity.target) < game.payoff(miner, start)
+    ]
+    assert losers, "welfare conservation forces at least one loser"

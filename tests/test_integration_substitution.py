@@ -1,0 +1,77 @@
+"""Integration: the substrates realize the game model (DESIGN.md §4).
+
+Two claims are verified quantitatively:
+
+* The PoW block lottery's long-run realized payoffs converge to the
+  game's ``u_p = m_p·F(c)/M_c``.
+* The market scenario's per-tick games, run through equilibrium
+  learning, produce the hashrate shares the game predicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.miningsim import MiningSimulation, SimMiner
+from repro.market.coins import bitcoin_cash_spec, bitcoin_spec
+from repro.market.exchange_rates import ConstantRate
+from repro.market.fees import ConstantFees
+from repro.market.population import uniform_population
+from repro.market.scenario import MarketScenario
+
+
+class TestChainRealizesGamePayoffs:
+    def test_realized_fiat_tracks_expected_payoff(self):
+        miners = [SimMiner(f"m{i}", p) for i, p in enumerate([40.0, 25.0, 15.0, 10.0])]
+        spec = bitcoin_spec()
+
+        def rate(t, coin):
+            return 1000.0
+
+        sim = MiningSimulation([spec], miners, rate, reevaluation_rate_per_h=1e-9, seed=5)
+        horizon = 5000.0
+        result = sim.run(horizon)
+
+        total_power = sum(m.power for m in miners)
+        value_per_hour = spec.coins_per_block * 1000.0 * spec.blocks_per_hour
+        for miner in miners:
+            expected = miner.power / total_power * value_per_hour
+            realized = result.fiat_by_miner[miner.name] / horizon
+            assert realized == pytest.approx(expected, rel=0.1)
+
+    def test_two_coin_split_matches_game_equilibrium(self):
+        # Static assignment at the game's equilibrium: both chains pay
+        # the same RPU, realized income per unit power must be ~equal.
+        miners = [SimMiner(f"m{i}", p) for i, p in enumerate([30.0, 30.0, 20.0, 20.0])]
+        specs = [bitcoin_spec(fees_per_block=0.0), bitcoin_cash_spec(fees_per_block=0.0)]
+
+        def rate(t, coin):
+            return 1000.0  # equal weights ⇒ equilibrium splits power evenly
+
+        assignment = {"m0": "BTC", "m1": "BCH", "m2": "BTC", "m3": "BCH"}
+        sim = MiningSimulation(specs, miners, rate, reevaluation_rate_per_h=1e-9, seed=6)
+        result = sim.run(4000.0, initial_assignment=assignment)
+        rpu = {
+            name: result.fiat_by_miner[name] / next(m.power for m in miners if m.name == name)
+            for name in result.fiat_by_miner
+        }
+        values = list(rpu.values())
+        assert max(values) / min(values) < 1.2
+
+
+class TestScenarioEquilibria:
+    def test_share_follows_weight_share_for_many_small_miners(self):
+        # With many similar miners, the equilibrium hashrate share of a
+        # coin approaches its weight share (the fluid limit).
+        times = np.array([0.0])
+        scenario = MarketScenario(
+            specs=(bitcoin_spec(fees_per_block=0.0), bitcoin_cash_spec(fees_per_block=0.0)),
+            rate_processes=(ConstantRate(3000.0), ConstantRate(1000.0)),
+            fee_processes=(ConstantFees(0.0), ConstantFees(0.0)),
+            miners=uniform_population(60, low=1.0, high=2.0, seed=1),
+            times_h=times,
+            seed=1,
+        )
+        replay = scenario.replay(seed=2)
+        bch_share = replay.hashrate_share("BCH")[0]
+        # Weight share of BCH = 1000/(3000+1000) = 0.25.
+        assert bch_share == pytest.approx(0.25, abs=0.05)

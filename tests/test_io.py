@@ -1,0 +1,93 @@
+"""Tests for JSON serialization (exact round trips)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.factories import random_configuration, random_game
+from repro.exceptions import InvalidModelError
+from repro.io import (
+    configuration_from_dict,
+    configuration_to_dict,
+    game_from_dict,
+    game_to_dict,
+    load_configuration,
+    load_game,
+    save_configuration,
+    save_game,
+)
+
+
+class TestGameRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        game = random_game(7, 3, seed=1)
+        rebuilt = game_from_dict(game_to_dict(game))
+        assert [m.power for m in rebuilt.miners] == [m.power for m in game.miners]
+        assert [rebuilt.rewards[c] for c in rebuilt.coins] == [
+            game.rewards[c] for c in game.coins
+        ]
+
+    def test_round_trip_preserves_strategic_structure(self):
+        game = random_game(6, 2, seed=2)
+        rebuilt = game_from_dict(game_to_dict(game))
+        config = random_configuration(game, seed=3)
+        rebuilt_config = configuration_from_dict(
+            configuration_to_dict(config), rebuilt
+        )
+        assert rebuilt.is_stable(rebuilt_config) == game.is_stable(config)
+        for miner, rebuilt_miner in zip(game.miners, rebuilt.miners):
+            assert rebuilt.payoff(rebuilt_miner, rebuilt_config) == game.payoff(
+                miner, config
+            )
+
+    def test_file_round_trip(self, tmp_path):
+        game = random_game(5, 2, seed=4)
+        path = tmp_path / "game.json"
+        save_game(game, str(path))
+        assert load_game(str(path)).rewards == game.rewards
+
+    def test_fractions_not_degraded_to_floats(self):
+        game = random_game(3, 2, seed=5)
+        payload = game_to_dict(game)
+        for entry in payload["miners"]:
+            assert isinstance(entry["power"], str) and "/" in entry["power"]
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidModelError, match="format"):
+            game_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        game = random_game(3, 2, seed=6)
+        payload = game_to_dict(game)
+        payload["version"] = 99
+        with pytest.raises(InvalidModelError, match="version"):
+            game_from_dict(payload)
+
+    def test_bad_rational_rejected(self):
+        game = random_game(3, 2, seed=7)
+        payload = game_to_dict(game)
+        payload["miners"][0]["power"] = "not-a-number"
+        with pytest.raises(InvalidModelError, match="bad rational"):
+            game_from_dict(payload)
+
+
+class TestConfigurationRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        game = random_game(4, 2, seed=8)
+        config = random_configuration(game, seed=9)
+        path = tmp_path / "config.json"
+        save_configuration(config, str(path))
+        assert load_configuration(str(path), game) == config
+
+    def test_missing_miner_rejected(self):
+        game = random_game(4, 2, seed=10)
+        config = random_configuration(game, seed=11)
+        payload = configuration_to_dict(config)
+        del payload["assignment"]["p1"]
+        with pytest.raises(InvalidModelError, match="misses"):
+            configuration_from_dict(payload, game)
+
+    def test_wrong_format_rejected(self):
+        game = random_game(3, 2, seed=12)
+        with pytest.raises(InvalidModelError, match="format"):
+            configuration_from_dict({"format": "nope", "assignment": {}}, game)

@@ -1,0 +1,43 @@
+"""Tests for coin specifications."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.market.coins import CoinSpec, bitcoin_cash_spec, bitcoin_spec
+
+
+class TestCoinSpec:
+    def test_derived_quantities(self):
+        spec = CoinSpec(name="X", block_interval_s=600, block_subsidy=12.5, fees_per_block=2.5)
+        assert spec.coins_per_block == 15.0
+        assert spec.blocks_per_hour == 6.0
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError, match="interval"):
+            CoinSpec(name="X", block_interval_s=0, block_subsidy=1)
+
+    def test_negative_subsidy_rejected(self):
+        with pytest.raises(SimulationError):
+            CoinSpec(name="X", block_interval_s=600, block_subsidy=-1)
+
+    def test_must_pay_something(self):
+        with pytest.raises(SimulationError, match="pay"):
+            CoinSpec(name="X", block_interval_s=600, block_subsidy=0, fees_per_block=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SimulationError, match="name"):
+            CoinSpec(name="", block_interval_s=600, block_subsidy=1)
+
+
+class TestNamedSpecs:
+    def test_bitcoin_2017(self):
+        spec = bitcoin_spec()
+        assert spec.name == "BTC"
+        assert spec.block_subsidy == 12.5
+        assert spec.blocks_per_hour == 6.0
+
+    def test_bch_shares_algorithm_with_btc(self):
+        assert bitcoin_spec().algorithm == bitcoin_cash_spec().algorithm
+
+    def test_custom_fees(self):
+        assert bitcoin_spec(fees_per_block=5.0).fees_per_block == 5.0

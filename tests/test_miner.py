@@ -1,0 +1,85 @@
+"""Tests for miners and power-ordering helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.miner import (
+    Miner,
+    has_strictly_decreasing_powers,
+    make_miners,
+    sorted_by_power,
+)
+from repro.exceptions import InvalidModelError
+
+
+class TestMiner:
+    def test_of_converts_power(self):
+        miner = Miner.of("p1", 2.5)
+        assert miner.power == Fraction(5, 2)
+
+    def test_direct_fraction(self):
+        assert Miner("p1", Fraction(3)).power == Fraction(3)
+
+    def test_non_fraction_power_converted_in_post_init(self):
+        assert Miner("p1", 4).power == Fraction(4)
+
+    def test_zero_power_rejected(self):
+        with pytest.raises((InvalidModelError, ValueError)):
+            Miner.of("p1", 0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises((InvalidModelError, ValueError)):
+            Miner("p1", Fraction(-1))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidModelError, match="name"):
+            Miner.of("", 1)
+
+    def test_hashable_and_equal_by_value(self):
+        assert Miner.of("a", 1) == Miner.of("a", 1)
+        assert hash(Miner.of("a", 1)) == hash(Miner.of("a", 1))
+        assert Miner.of("a", 1) != Miner.of("a", 2)
+
+
+class TestMakeMiners:
+    def test_names_are_one_based(self):
+        miners = make_miners([5, 3, 1])
+        assert [m.name for m in miners] == ["p1", "p2", "p3"]
+
+    def test_custom_prefix(self):
+        miners = make_miners([1, 2], prefix="pool")
+        assert miners[0].name == "pool1"
+
+    def test_order_preserved(self):
+        miners = make_miners([1, 5, 3])
+        assert [m.power for m in miners] == [1, 5, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidModelError, match="at least one"):
+            make_miners([])
+
+
+class TestSortedByPower:
+    def test_sorts_descending(self):
+        miners = make_miners([1, 5, 3])
+        assert [m.power for m in sorted_by_power(miners)] == [5, 3, 1]
+
+    def test_ties_broken_by_name(self):
+        a = Miner.of("a", 2)
+        b = Miner.of("b", 2)
+        assert sorted_by_power([b, a]) == (a, b)
+
+
+class TestStrictPowers:
+    def test_strictly_decreasing_true(self):
+        assert has_strictly_decreasing_powers(make_miners([5, 3, 1]))
+
+    def test_duplicates_false(self):
+        assert not has_strictly_decreasing_powers(make_miners([5, 5, 1]))
+
+    def test_increasing_false(self):
+        assert not has_strictly_decreasing_powers(make_miners([1, 2]))
+
+    def test_singleton_true(self):
+        assert has_strictly_decreasing_powers(make_miners([1]))

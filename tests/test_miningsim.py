@@ -1,0 +1,141 @@
+"""Tests for the event-driven mining simulation."""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.difficulty import BitcoinRetarget
+from repro.chainsim.miningsim import MiningSimulation, SimMiner
+from repro.exceptions import SimulationError
+from repro.market.coins import bitcoin_cash_spec, bitcoin_spec
+
+
+def _flat_rate(t, coin):
+    return 6500.0 if coin == "BTC" else 620.0
+
+
+def _miners(count=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return [SimMiner(f"m{i}", float(p)) for i, p in enumerate(rng.uniform(10, 50, count))]
+
+
+class TestValidation:
+    def test_needs_coins_and_miners(self):
+        with pytest.raises(SimulationError):
+            MiningSimulation([], _miners(), _flat_rate)
+        with pytest.raises(SimulationError):
+            MiningSimulation([bitcoin_spec()], [], _flat_rate)
+
+    def test_duplicate_miner_names_rejected(self):
+        miners = [SimMiner("x", 1.0), SimMiner("x", 2.0)]
+        with pytest.raises(SimulationError, match="unique"):
+            MiningSimulation([bitcoin_spec()], miners, _flat_rate)
+
+    def test_miner_power_positive(self):
+        with pytest.raises(SimulationError):
+            SimMiner("x", 0.0)
+
+    def test_initial_assignment_checked(self):
+        sim = MiningSimulation([bitcoin_spec()], _miners(2), _flat_rate, seed=0)
+        with pytest.raises(SimulationError, match="misses"):
+            sim.run(1.0, initial_assignment={"m0": "BTC"})
+        with pytest.raises(SimulationError, match="unknown coin"):
+            sim.run(1.0, initial_assignment={"m0": "DOGE", "m1": "BTC"})
+
+    def test_horizon_positive(self):
+        sim = MiningSimulation([bitcoin_spec()], _miners(2), _flat_rate, seed=0)
+        with pytest.raises(SimulationError):
+            sim.run(0.0)
+
+
+class TestBlockProduction:
+    def test_block_rate_near_target_when_calibrated(self):
+        # All miners on BTC, difficulty calibrated to them: expect
+        # roughly 6 blocks/hour.
+        miners = _miners(6, seed=1)
+        sim = MiningSimulation(
+            [bitcoin_spec()], miners, _flat_rate, reevaluation_rate_per_h=1e-9, seed=2
+        )
+        result = sim.run(100.0)
+        blocks_per_hour = result.blocks_found("BTC") / 100.0
+        assert blocks_per_hour == pytest.approx(6.0, rel=0.2)
+
+    def test_fiat_accounting_matches_blocks(self):
+        miners = _miners(4, seed=3)
+        sim = MiningSimulation(
+            [bitcoin_spec()], miners, _flat_rate, reevaluation_rate_per_h=1e-9, seed=4
+        )
+        result = sim.run(50.0)
+        expected = result.blocks_found("BTC") * bitcoin_spec().coins_per_block * 6500.0
+        assert sum(result.fiat_by_miner.values()) == pytest.approx(expected)
+
+    def test_realized_income_tracks_power_share(self):
+        # DESIGN.md §4's substitution claim, quantitatively.
+        miners = _miners(5, seed=5)
+        sim = MiningSimulation(
+            [bitcoin_spec()], miners, _flat_rate, reevaluation_rate_per_h=1e-9, seed=6
+        )
+        result = sim.run(3000.0)
+        total_power = sum(m.power for m in miners)
+        total_fiat = sum(result.fiat_by_miner.values())
+        for miner in miners:
+            realized_share = result.fiat_by_miner[miner.name] / total_fiat
+            power_share = miner.power / total_power
+            assert realized_share == pytest.approx(power_share, rel=0.15)
+
+
+class TestSwitching:
+    def test_profit_gap_triggers_switches(self):
+        # Make BCH clearly over-rewarded per unit of power at the start
+        # (low difficulty, nobody mining it, strong price): miners must
+        # notice and move.
+        def lucrative_bch(t, coin):
+            return 6500.0 if coin == "BTC" else 2500.0
+
+        miners = _miners(8, seed=7)
+        sim = MiningSimulation(
+            [bitcoin_spec(), bitcoin_cash_spec()],
+            miners,
+            lucrative_bch,
+            reevaluation_rate_per_h=4.0,
+            seed=8,
+        )
+        result = sim.run(24.0)
+        assert len(result.switches) > 0
+        assert result.blocks_found("BCH") > 0
+
+    def test_hysteresis_reduces_switching(self):
+        miners = _miners(8, seed=9)
+        kwargs = dict(
+            rate_fn=_flat_rate,
+            difficulty_rules={"BTC": BitcoinRetarget(window=24),
+                              "BCH": BitcoinRetarget(window=24)},
+            reevaluation_rate_per_h=4.0,
+        )
+        eager = MiningSimulation(
+            [bitcoin_spec(), bitcoin_cash_spec()], miners, seed=10,
+            switch_threshold=0.0, **kwargs
+        ).run(48.0)
+        lazy = MiningSimulation(
+            [bitcoin_spec(), bitcoin_cash_spec()], miners, seed=10,
+            switch_threshold=0.5, **kwargs
+        ).run(48.0)
+        assert len(lazy.switches) <= len(eager.switches)
+
+    def test_switch_events_well_formed(self):
+        miners = _miners(6, seed=11)
+        sim = MiningSimulation(
+            [bitcoin_spec(), bitcoin_cash_spec()], miners, _flat_rate, seed=12
+        )
+        result = sim.run(24.0)
+        for switch in result.switches:
+            assert switch.source != switch.target
+            assert 0.0 <= switch.time_h <= 24.0
+
+    def test_shares_sum_to_one(self):
+        miners = _miners(6, seed=13)
+        sim = MiningSimulation(
+            [bitcoin_spec(), bitcoin_cash_spec()], miners, _flat_rate, seed=14
+        )
+        result = sim.run(12.0, sample_resolution_h=2.0)
+        total = result.hashrate_shares["BTC"] + result.hashrate_shares["BCH"]
+        assert np.allclose(total, 1.0)

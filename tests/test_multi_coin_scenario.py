@@ -1,0 +1,33 @@
+"""Tests for the generic multi-coin scenario factory."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.market.scenario import multi_coin_scenario
+
+
+class TestMultiCoinScenario:
+    def test_shape(self):
+        scenario = multi_coin_scenario(4, n_miners=12, horizon_h=24, resolution_h=8, seed=1)
+        assert len(scenario.coins) == 4
+        assert len(scenario.miners) == 12
+        game = scenario.game_at(0)
+        assert len(game.coins) == 4
+
+    def test_weights_geometrically_spaced(self):
+        scenario = multi_coin_scenario(3, horizon_h=8, resolution_h=8, seed=2)
+        weights = scenario.weight_series().at(0)
+        ordered = [weights[f"COIN{i}"] for i in (1, 2, 3)]
+        assert ordered[0] > ordered[1] > ordered[2]
+
+    def test_replay_converges_each_tick(self):
+        scenario = multi_coin_scenario(
+            3, n_miners=10, horizon_h=24, resolution_h=12, seed=3
+        )
+        replay = scenario.replay(seed=4)
+        for index, config in enumerate(replay.configurations):
+            assert scenario.game_at(index).is_stable(config)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            multi_coin_scenario(0)

@@ -1,0 +1,111 @@
+"""Tests for the naive single-shot reward design baselines."""
+
+import pytest
+
+from repro.core.equilibrium import enumerate_equilibria
+from repro.core.factories import random_configuration, random_game
+from repro.design.naive import proportional_boost_design, single_shot_design
+from repro.exceptions import NotAnEquilibriumError
+
+
+def _pair(seed_range=range(20)):
+    for seed in seed_range:
+        game = random_game(6, 2, seed=seed)
+        equilibria = enumerate_equilibria(game)
+        if len(equilibria) >= 2:
+            return game, equilibria[0], equilibria[1]
+    raise AssertionError("no multi-equilibrium game found")
+
+
+class TestSingleShot:
+    def test_result_shape(self):
+        game, s0, sf = _pair()
+        result = single_shot_design(game, s0, sf, seed=0)
+        assert result.final is not None
+        assert result.boosted_final is not None
+        assert result.steps >= 0
+        assert result.ledger.total() >= 0
+
+    def test_success_flag_is_accurate(self):
+        game, s0, sf = _pair()
+        result = single_shot_design(game, s0, sf, seed=1)
+        assert result.success == (result.final == sf)
+
+    def test_final_is_always_an_equilibrium(self):
+        # Whatever happens, after reverting, learning leaves the system
+        # stable under the organic rewards.
+        game, s0, sf = _pair()
+        result = single_shot_design(game, s0, sf, seed=2)
+        assert game.is_stable(result.final)
+
+    def test_target_is_stable_in_designed_game(self):
+        # The design's selling point: the target IS an equilibrium of
+        # the boosted game (the problem is everything else is too).
+        from fractions import Fraction
+
+        from repro.core.coin import RewardFunction
+
+        game, s0, sf = _pair()
+        scale = Fraction(0)
+        for coin in game.coins:
+            mass = game.coin_power(coin, sf)
+            if mass > 0:
+                scale = max(scale, game.rewards[coin] / mass)
+        values = {
+            coin: (
+                scale * game.coin_power(coin, sf)
+                if game.coin_power(coin, sf) > 0
+                else game.rewards[coin]
+            )
+            for coin in game.coins
+        }
+        designed = game.with_rewards(RewardFunction.allowing_zero(values))
+        assert designed.is_stable(sf)
+
+    def test_unstable_target_rejected(self):
+        game, s0, _ = _pair()
+        for seed in range(30):
+            unstable = random_configuration(game, seed=seed)
+            if not game.is_stable(unstable):
+                with pytest.raises(NotAnEquilibriumError):
+                    single_shot_design(game, s0, unstable)
+                return
+        pytest.skip("no unstable configuration found")
+
+    def test_often_fails_where_staged_succeeds(self):
+        # The E10 ablation in miniature: across several games, the
+        # naive design must fail at least once while the staged
+        # mechanism never does.
+        from repro.design.mechanism import DynamicRewardDesign
+
+        naive_failures = 0
+        staged_failures = 0
+        checked = 0
+        for seed in range(12):
+            game = random_game(6, 2, seed=seed)
+            equilibria = enumerate_equilibria(game)
+            if len(equilibria) < 2:
+                continue
+            s0, sf = equilibria[0], equilibria[-1]
+            checked += 1
+            for trial in range(3):
+                result = single_shot_design(game, s0, sf, seed=100 + trial)
+                naive_failures += int(not result.success)
+            staged = DynamicRewardDesign().run(game, s0, sf, seed=7)
+            staged_failures += int(not staged.success)
+        assert checked >= 3
+        assert staged_failures == 0
+        assert naive_failures > 0
+
+
+class TestProportionalBoost:
+    def test_result_shape(self):
+        game, s0, sf = _pair()
+        result = proportional_boost_design(game, s0, sf, seed=3)
+        assert game.is_stable(result.final)
+
+    def test_designed_rewards_dominate_base(self):
+        # The heuristic only raises rewards, so it is always feasible.
+        game, s0, sf = _pair()
+        result = proportional_boost_design(game, s0, sf, seed=4)
+        assert result.ledger.total() >= 0

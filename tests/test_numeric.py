@@ -1,0 +1,59 @@
+"""Tests for the exact-arithmetic conversion layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro._numeric import as_float, to_fraction, to_positive_fraction
+
+
+class TestToFraction:
+    def test_int_converts_exactly(self):
+        assert to_fraction(7) == Fraction(7)
+
+    def test_fraction_passes_through(self):
+        value = Fraction(3, 7)
+        assert to_fraction(value) is value
+
+    def test_float_converts_exactly(self):
+        # 0.1 is not 1/10 in binary; the conversion must preserve the
+        # float's true value, not the decimal literal.
+        assert to_fraction(0.5) == Fraction(1, 2)
+        assert to_fraction(0.1) == Fraction(0.1)
+        assert to_fraction(0.1) != Fraction(1, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="bool"):
+            to_fraction(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            to_fraction(float("nan"))
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf")])
+    def test_infinite_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            to_fraction(bad)
+
+    def test_string_rejected_with_name(self):
+        with pytest.raises(TypeError, match="power"):
+            to_fraction("10", name="power")
+
+
+class TestToPositiveFraction:
+    def test_positive_ok(self):
+        assert to_positive_fraction(3) == Fraction(3)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, Fraction(0)])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(ValueError, match="strictly positive"):
+            to_positive_fraction(bad)
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="reward"):
+            to_positive_fraction(-1, name="reward")
+
+
+def test_as_float():
+    assert as_float(Fraction(1, 2)) == 0.5
+    assert as_float(3) == 3.0

@@ -1,0 +1,67 @@
+"""Tests for miner population generators."""
+
+import pytest
+
+from repro.core.miner import has_strictly_decreasing_powers
+from repro.exceptions import SimulationError
+from repro.market.population import (
+    POOL_PROFILE_2017,
+    pareto_population,
+    pool_population,
+    uniform_population,
+)
+
+
+class TestUniform:
+    def test_size_and_strictness(self):
+        miners = uniform_population(25, seed=0)
+        assert len(miners) == 25
+        assert has_strictly_decreasing_powers(miners)
+
+    def test_range(self):
+        miners = uniform_population(10, low=2.0, high=3.0, seed=1)
+        for miner in miners:
+            assert 1.9 < float(miner.power) < 3.1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            uniform_population(0)
+        with pytest.raises(SimulationError):
+            uniform_population(3, low=5.0, high=1.0)
+
+
+class TestPareto:
+    def test_heavy_tail(self):
+        miners = pareto_population(200, seed=2)
+        powers = sorted((float(m.power) for m in miners), reverse=True)
+        top_share = sum(powers[:10]) / sum(powers)
+        assert top_share > 0.3, "pareto populations concentrate power"
+
+    def test_strictness(self):
+        assert has_strictly_decreasing_powers(pareto_population(50, seed=3))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            pareto_population(5, alpha=0)
+
+
+class TestPoolProfile:
+    def test_profile_sums_to_one(self):
+        assert sum(POOL_PROFILE_2017) == pytest.approx(1.0)
+
+    def test_total_power_preserved(self):
+        miners = pool_population(total_power=1000.0, seed=4)
+        assert sum(float(m.power) for m in miners) == pytest.approx(1000.0, rel=1e-6)
+
+    def test_tail_split(self):
+        base = pool_population(total_power=1000.0, seed=5)
+        tailed = pool_population(total_power=1000.0, tail_miners=15, seed=5)
+        assert len(tailed) == len(base) - 1 + 15
+        assert sum(float(m.power) for m in tailed) == pytest.approx(1000.0, rel=1e-6)
+
+    def test_strictness(self):
+        assert has_strictly_decreasing_powers(pool_population(seed=6, tail_miners=10))
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SimulationError, match="sum to 1"):
+            pool_population(profile=(0.5, 0.2))

@@ -1,0 +1,51 @@
+"""Tests for the proof-of-work block lottery."""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.pow import BlockLottery, calibrated_difficulty
+from repro.exceptions import SimulationError
+
+
+class TestLottery:
+    def test_empty_powers_yield_none(self):
+        assert BlockLottery(seed=0).draw({}, difficulty=10.0) is None
+        assert BlockLottery(seed=0).draw({"a": 0.0}, difficulty=10.0) is None
+
+    def test_mean_wait_matches_rate(self):
+        lottery = BlockLottery(seed=1)
+        waits = [lottery.draw({"a": 5.0}, difficulty=10.0).wait_h for _ in range(3000)]
+        assert np.mean(waits) == pytest.approx(2.0, rel=0.1)
+
+    def test_winner_proportional_to_power(self):
+        lottery = BlockLottery(seed=2)
+        powers = {"big": 3.0, "small": 1.0}
+        winners = [lottery.draw(powers, difficulty=1.0).winner for _ in range(4000)]
+        big_share = winners.count("big") / len(winners)
+        assert big_share == pytest.approx(0.75, abs=0.03)
+
+    def test_invalid_difficulty(self):
+        with pytest.raises(SimulationError):
+            BlockLottery(seed=0).draw({"a": 1.0}, difficulty=0.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SimulationError):
+            BlockLottery(seed=0).draw({"a": 1.0, "b": -1.0}, difficulty=1.0)
+
+    def test_expected_wait(self):
+        lottery = BlockLottery(seed=0)
+        assert lottery.expected_wait_h(total_power=4.0, difficulty=8.0) == 2.0
+        with pytest.raises(SimulationError):
+            lottery.expected_wait_h(total_power=0.0, difficulty=1.0)
+
+
+class TestCalibration:
+    def test_round_trip(self):
+        difficulty = calibrated_difficulty(total_power=60.0, target_interval_h=1 / 6)
+        assert BlockLottery(seed=0).expected_wait_h(60.0, difficulty) == pytest.approx(
+            1 / 6
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            calibrated_difficulty(0.0, 1.0)

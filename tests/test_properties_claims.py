@@ -1,0 +1,85 @@
+"""Property-based tests for the paper's supporting claims (App. D).
+
+Claim 5/6 (insertion preserves stability), Claim 7 (stability is
+monotone in power on a shared coin), and the Theorem-1-as-graph
+statement (improvement graphs are DAGs whose sinks are the equilibria).
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coin import RewardFunction, make_coins
+from repro.core.configuration import Configuration
+from repro.core.equilibrium import best_insertion_coin, greedy_equilibrium
+from repro.core.game import Game
+from repro.core.miner import Miner, make_miners
+
+
+@st.composite
+def small_games(draw, min_miners=2, max_miners=5, max_coins=3):
+    n = draw(st.integers(min_value=min_miners, max_value=max_miners))
+    k = draw(st.integers(min_value=1, max_value=max_coins))
+    powers = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=300), min_size=n, max_size=n, unique=True
+        )
+    )
+    rewards = draw(
+        st.lists(st.integers(min_value=1, max_value=300), min_size=k, max_size=k)
+    )
+    miners = make_miners(sorted((Fraction(p, 4) for p in powers), reverse=True))
+    coins = make_coins(f"c{i}" for i in range(1, k + 1))
+    return Game(miners, coins, RewardFunction.from_values(coins, rewards))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_games(), st.integers(min_value=1, max_value=50))
+def test_claim6_insertion_preserves_stability(game, new_power_numerator):
+    """Claim 5/6: inserting a smallest miner at its best coin keeps
+    every previously stable miner stable."""
+    equilibrium = greedy_equilibrium(game)
+    smallest = min(m.power for m in game.miners)
+    # Strictly smaller than everyone, distinct from all existing powers.
+    new_power = smallest * Fraction(new_power_numerator, new_power_numerator + 50)
+    newcomer = Miner("newcomer", new_power)
+
+    extended_miners = game.miners + (newcomer,)
+    extended = Game(extended_miners, game.coins, game.rewards)
+    coin = best_insertion_coin(extended, equilibrium, newcomer)
+    assignment = {miner: equilibrium.coin_of(miner) for miner in game.miners}
+    assignment[newcomer] = coin
+    extended_config = Configuration.from_mapping(extended_miners, assignment)
+
+    assert extended.is_miner_stable(newcomer, extended_config)
+    for miner in game.miners:
+        assert extended.is_miner_stable(miner, extended_config)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_games())
+def test_claim7_stability_is_monotone_in_power(game):
+    """Claim 7: on a shared coin, if a smaller miner is stable then
+    every bigger co-located miner is stable too."""
+    for config in game.all_configurations():
+        for coin in game.coins:
+            occupants = config.miners_on(coin)
+            if len(occupants) < 2:
+                continue
+            by_power = sorted(occupants, key=lambda m: m.power)
+            for index in range(len(by_power) - 1):
+                small, big = by_power[index], by_power[index + 1]
+                if game.is_miner_stable(small, config):
+                    assert game.is_miner_stable(big, config)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_games(max_miners=4, max_coins=3))
+def test_improvement_graph_is_dag_with_equilibrium_sinks(game):
+    """Theorem 1, graph form, exactly — on hypothesis-generated games."""
+    from repro.analysis.paths import improvement_graph, is_acyclic, sink_configurations
+    from repro.core.equilibrium import enumerate_equilibria
+
+    graph = improvement_graph(game)
+    assert is_acyclic(graph)
+    assert set(sink_configurations(graph)) == set(enumerate_equilibria(game))

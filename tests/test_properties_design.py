@@ -1,0 +1,98 @@
+"""Property-based tests for the reward design mechanism (Section 5)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coin import RewardFunction, make_coins
+from repro.core.game import Game
+from repro.core.miner import make_miners
+from repro.core.equilibrium import enumerate_equilibria
+from repro.design.mechanism import DynamicRewardDesign
+from repro.design.reward_design import stage1_rewards, stage_rewards
+from repro.design.stages import intermediate_configuration
+
+
+@st.composite
+def design_games(draw):
+    """Small games with strictly decreasing powers (Section 5's setting)."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    k = draw(st.integers(min_value=2, max_value=3))
+    powers = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=400),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    rewards = draw(
+        st.lists(st.integers(min_value=1, max_value=400), min_size=k, max_size=k)
+    )
+    miners = make_miners([Fraction(p, 9) for p in powers])
+    coins = make_coins(f"c{i}" for i in range(1, k + 1))
+    return Game(miners, coins, RewardFunction.from_values(coins, rewards))
+
+
+@settings(max_examples=20, deadline=None)
+@given(design_games(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_mechanism_reaches_any_equilibrium_pair(game, seed):
+    """Algorithm 2's guarantee on random instances and random learning."""
+    equilibria = enumerate_equilibria(game)
+    if len(equilibria) < 2:
+        return
+    result = DynamicRewardDesign().run(game, equilibria[0], equilibria[-1], seed=seed)
+    assert result.success
+    assert result.final == equilibria[-1]
+    assert game.is_stable(result.final)
+
+
+@settings(max_examples=25, deadline=None)
+@given(design_games())
+def test_stage1_rewards_make_milestone_the_unique_equilibrium(game):
+    equilibria = enumerate_equilibria(game)
+    if not equilibria:
+        return
+    target = equilibria[0]
+    designed = game.with_rewards(stage1_rewards(game, target))
+    milestone = intermediate_configuration(game, target, 1)
+    stable = enumerate_equilibria(designed)
+    assert stable == [milestone]
+
+
+@settings(max_examples=25, deadline=None)
+@given(design_games())
+def test_stage_rewards_leave_exactly_the_mover_unstable(game):
+    """Lemma 1's entry condition, on random instances."""
+    from repro.design.stages import mover_index, ordered_miners
+
+    equilibria = enumerate_equilibria(game)
+    if not equilibria:
+        return
+    target = equilibria[0]
+    for stage in range(2, len(game.miners) + 1):
+        config = intermediate_configuration(game, target, stage - 1)
+        if config == intermediate_configuration(game, target, stage):
+            continue
+        designed_game = game.with_rewards(stage_rewards(game, target, stage, config))
+        miners = ordered_miners(game)
+        mover = miners[mover_index(game, target, stage, config) - 1]
+        destination = target.coin_of(miners[stage - 1])
+        assert designed_game.unstable_miners(config) == (mover,)
+        assert designed_game.better_response_moves(mover, config) == (destination,)
+
+
+@settings(max_examples=15, deadline=None)
+@given(design_games(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_mechanism_cost_is_always_bounded_and_positive(game, seed):
+    equilibria = enumerate_equilibria(game)
+    if len(equilibria) < 2:
+        return
+    result = DynamicRewardDesign().run(game, equilibria[0], equilibria[1], seed=seed)
+    total = result.ledger.total()
+    assert total >= 0
+    assert total < Fraction(10**30), "cost must be finite and sane"

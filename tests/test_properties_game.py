@@ -1,0 +1,128 @@
+"""Property-based tests for the core game invariants (hypothesis).
+
+Strategies build small games with exact rational powers/rewards drawn
+from integer grids, so every property is checked in exact arithmetic.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coin import RewardFunction, make_coins
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import make_miners
+
+
+@st.composite
+def games(draw, max_miners=6, max_coins=4):
+    """A small game with distinct rational powers and positive rewards."""
+    n = draw(st.integers(min_value=1, max_value=max_miners))
+    k = draw(st.integers(min_value=1, max_value=max_coins))
+    raw_powers = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=1000),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    rewards = draw(
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=k, max_size=k)
+    )
+    miners = make_miners([Fraction(p, 7) for p in raw_powers])
+    coins = make_coins(f"c{i}" for i in range(1, k + 1))
+    return Game(miners, coins, RewardFunction.from_values(coins, rewards))
+
+
+@st.composite
+def games_with_configuration(draw, **kwargs):
+    game = draw(games(**kwargs))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(game.coins) - 1),
+            min_size=len(game.miners),
+            max_size=len(game.miners),
+        )
+    )
+    config = Configuration(game.miners, [game.coins[i] for i in indices])
+    return game, config
+
+
+@settings(max_examples=60, deadline=None)
+@given(games_with_configuration())
+def test_welfare_equals_occupied_rewards(pair):
+    """Σ u_p(s) = Σ_{occupied c} F(c): coins divide their whole reward."""
+    game, config = pair
+    occupied_total = sum(
+        (game.rewards[coin] for coin in config.occupied_coins()), Fraction(0)
+    )
+    assert game.social_welfare(config) == occupied_total
+
+
+@settings(max_examples=60, deadline=None)
+@given(games_with_configuration())
+def test_payoffs_on_a_coin_split_proportionally(pair):
+    """u_p(s)/u_q(s) = m_p/m_q for miners sharing a coin."""
+    game, config = pair
+    for coin in config.occupied_coins():
+        occupants = config.miners_on(coin)
+        if len(occupants) < 2:
+            continue
+        p, q = occupants[0], occupants[1]
+        assert game.payoff(p, config) * q.power == game.payoff(q, config) * p.power
+
+
+@settings(max_examples=60, deadline=None)
+@given(games_with_configuration())
+def test_better_response_definition(pair):
+    """better_response_moves is exactly {c : u_p((s_-p, c)) > u_p(s)}."""
+    game, config = pair
+    for miner in game.miners:
+        current = game.payoff(miner, config)
+        listed = set(game.better_response_moves(miner, config))
+        for coin in game.coins:
+            improves = (
+                coin != config.coin_of(miner)
+                and game.payoff(miner, config.move(miner, coin)) > current
+            )
+            assert (coin in listed) == improves
+
+
+@settings(max_examples=60, deadline=None)
+@given(games_with_configuration())
+def test_stability_iff_no_unstable_miners(pair):
+    game, config = pair
+    assert game.is_stable(config) == (len(game.unstable_miners(config)) == 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(games_with_configuration())
+def test_fast_path_agrees_with_reference(pair):
+    game, config = pair
+    powers = game.coin_power_map(config)
+    assert game.unstable_miners_given(config, powers) == game.unstable_miners(config)
+    for miner in game.miners:
+        assert game.better_response_moves_given(
+            miner, config, powers
+        ) == game.better_response_moves(miner, config)
+
+
+@settings(max_examples=40, deadline=None)
+@given(games_with_configuration())
+def test_move_is_involution_when_reversed(pair):
+    game, config = pair
+    miner = game.miners[0]
+    original = config.coin_of(miner)
+    for coin in game.coins:
+        assert config.move(miner, coin).move(miner, original) == config
+
+
+@settings(max_examples=40, deadline=None)
+@given(games())
+def test_greedy_equilibrium_is_always_stable(game):
+    """Proposition 3 (existence), via the Appendix A construction."""
+    from repro.core.equilibrium import greedy_equilibrium
+
+    assert game.is_stable(greedy_equilibrium(game))

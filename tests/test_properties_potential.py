@@ -1,0 +1,98 @@
+"""Property-based tests for Theorem 1's potential argument."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coin import RewardFunction, make_coins
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import make_miners
+from repro.core.potential import compare_potential, rpu_list
+from repro.learning.engine import LearningEngine
+from repro.learning.policies import RandomImprovingPolicy
+
+
+@st.composite
+def game_config_and_step(draw):
+    """A game, a configuration, and one applicable better-response step."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    k = draw(st.integers(min_value=2, max_value=4))
+    powers = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=500), min_size=n, max_size=n, unique=True
+        )
+    )
+    rewards = draw(
+        st.lists(st.integers(min_value=1, max_value=500), min_size=k, max_size=k)
+    )
+    miners = make_miners([Fraction(p, 3) for p in powers])
+    coins = make_coins(f"c{i}" for i in range(1, k + 1))
+    game = Game(miners, coins, RewardFunction.from_values(coins, rewards))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=k - 1), min_size=n, max_size=n)
+    )
+    config = Configuration(miners, [coins[i] for i in indices])
+    steps = [
+        (miner, coin)
+        for miner in miners
+        for coin in game.better_response_moves(miner, config)
+    ]
+    if not steps:
+        return game, config, None
+    return game, config, steps[draw(st.integers(min_value=0, max_value=len(steps) - 1))]
+
+
+@settings(max_examples=80, deadline=None)
+@given(game_config_and_step())
+def test_every_better_response_step_increases_the_potential(triple):
+    """Theorem 1's heart: rank(list(s)) strictly increases per step."""
+    game, config, step = triple
+    if step is None:
+        return
+    miner, coin = step
+    assert compare_potential(game, config, config.move(miner, coin)) < 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(game_config_and_step())
+def test_observation2_rpu_inequalities(triple):
+    """RPU_c(s) < min(RPU_c(s'), RPU_c'(s')) on every step."""
+    game, config, step = triple
+    if step is None:
+        return
+    miner, coin = step
+    source = config.coin_of(miner)
+    after = config.move(miner, coin)
+    rpu_source_before = game.rpu(source, config)
+    rpu_source_after = game.rpu(source, after)
+    rpu_target_after = game.rpu(coin, after)
+    assert rpu_target_after > rpu_source_before
+    if rpu_source_after is not None:
+        assert rpu_source_after > rpu_source_before
+
+
+@settings(max_examples=80, deadline=None)
+@given(game_config_and_step())
+def test_observation1_moves_up_the_list(triple):
+    """A better response targets a strictly later position in list(s)."""
+    game, config, step = triple
+    if step is None:
+        return
+    miner, coin = step
+    entries = rpu_list(game, config)
+    order = [game.coins[entry[1]] for entry in entries]
+    assert order.index(coin) > order.index(config.coin_of(miner))
+
+
+@settings(max_examples=25, deadline=None)
+@given(game_config_and_step(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_learning_always_converges(triple, seed):
+    """Theorem 1 itself, executed: every improving path is finite."""
+    game, config, _ = triple
+    engine = LearningEngine(policy=RandomImprovingPolicy(), max_steps=100_000)
+    trajectory = engine.run(game, config, seed=seed)
+    assert trajectory.converged
+    assert game.is_stable(trajectory.final)

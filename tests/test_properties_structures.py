@@ -1,0 +1,92 @@
+"""Property-based tests for data-structure laws (configurations, rewards)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coin import RewardFunction, make_coins
+from repro.core.configuration import Configuration
+from repro.core.miner import make_miners
+
+names = st.integers(min_value=2, max_value=6)
+
+
+@st.composite
+def reward_functions(draw):
+    k = draw(st.integers(min_value=1, max_value=5))
+    coins = make_coins(f"c{i}" for i in range(k))
+    values = draw(
+        st.lists(st.integers(min_value=1, max_value=10**6), min_size=k, max_size=k)
+    )
+    return coins, RewardFunction.from_values(coins, values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(reward_functions(), st.integers(min_value=1, max_value=1000))
+def test_boost_then_total(pair, extra):
+    coins, rewards = pair
+    boosted = rewards.boosted(coins[0], extra)
+    assert boosted.total() == rewards.total() + extra
+    assert boosted.dominates(rewards)
+
+
+@settings(max_examples=50, deadline=None)
+@given(reward_functions())
+def test_replacing_identity(pair):
+    coins, rewards = pair
+    same = rewards.replacing({coins[0]: rewards[coins[0]]})
+    assert same == rewards
+
+
+@settings(max_examples=50, deadline=None)
+@given(reward_functions())
+def test_total_is_sum_of_items(pair):
+    _, rewards = pair
+    assert rewards.total() == sum((v for _, v in rewards.items()), Fraction(0))
+
+
+@st.composite
+def configurations(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=4))
+    powers = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=100), min_size=n, max_size=n, unique=True
+        )
+    )
+    miners = make_miners(powers)
+    coins = make_coins(f"c{i}" for i in range(k))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=k - 1), min_size=n, max_size=n)
+    )
+    return miners, coins, Configuration(miners, [coins[i] for i in indices])
+
+
+@settings(max_examples=50, deadline=None)
+@given(configurations())
+def test_miners_on_partitions_miners(triple):
+    miners, coins, config = triple
+    seen = []
+    for coin in coins:
+        seen.extend(config.miners_on(coin))
+    assert sorted(m.name for m in seen) == sorted(m.name for m in miners)
+
+
+@settings(max_examples=50, deadline=None)
+@given(configurations())
+def test_occupied_coins_are_exactly_the_used_ones(triple):
+    miners, coins, config = triple
+    used = {config.coin_of(m) for m in miners}
+    assert set(config.occupied_coins()) == used
+
+
+@settings(max_examples=50, deadline=None)
+@given(configurations(), st.integers(min_value=0, max_value=3))
+def test_move_preserves_everyone_else(triple, coin_index):
+    miners, coins, config = triple
+    target = coins[coin_index % len(coins)]
+    mover = miners[0]
+    moved = config.move(mover, target)
+    assert moved.coin_of(mover) == target
+    for miner in miners[1:]:
+        assert moved.coin_of(miner) == config.coin_of(miner)

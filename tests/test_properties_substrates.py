@@ -1,0 +1,99 @@
+"""Property-based tests for the market and chain substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chainsim.difficulty import BitcoinRetarget, EmergencyAdjustment
+from repro.chainsim.pow import BlockLottery, calibrated_difficulty
+from repro.market.exchange_rates import GeometricBrownianRate, JumpDiffusionRate, JumpEvent
+from repro.market.weights import weight_path
+from repro.market.coins import CoinSpec
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=1e5),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_gbm_paths_stay_positive_and_start_at_initial(initial, vol, seed):
+    times = np.arange(0.0, 24.0, 1.0)
+    path = GeometricBrownianRate(initial=initial, volatility_per_sqrt_h=vol).sample(
+        times, seed=seed
+    )
+    assert path[0] == pytest.approx(initial)
+    assert np.all(path > 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=1.01, max_value=10.0),
+    st.floats(min_value=0.5, max_value=48.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_decaying_jumps_always_revert_toward_base(factor, half_life, seed):
+    times = np.arange(0.0, 400.0, 2.0)
+    base = GeometricBrownianRate(initial=100.0, volatility_per_sqrt_h=0.0)
+    process = JumpDiffusionRate(
+        base=base, jumps=(JumpEvent(at_h=10.0, factor=factor, half_life_h=half_life),)
+    )
+    path = process.sample(times, seed=seed)
+    at_jump = path[times >= 10.0][0]
+    at_end = path[-1]
+    assert at_jump == pytest.approx(100.0 * factor, rel=1e-6)
+    assert abs(at_end - 100.0) < abs(at_jump - 100.0), "decay must shrink the jump"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=1000.0),
+    st.floats(min_value=0.0, max_value=50.0),
+    st.floats(min_value=60.0, max_value=3600.0),
+)
+def test_weight_is_linear_in_rate_and_fees(rate, fees, interval_s):
+    spec = CoinSpec(name="X", block_interval_s=interval_s, block_subsidy=10.0)
+    rates = np.array([rate, 2 * rate])
+    fee_path = np.array([fees, fees])
+    weights = weight_path(spec, rates, fee_path)
+    assert weights[1] == pytest.approx(2 * weights[0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=0.5, max_value=500.0),
+    st.floats(min_value=0.01, max_value=2.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_calibrated_lottery_hits_target_interval(power, target_h, seed):
+    difficulty = calibrated_difficulty(power, target_h)
+    lottery = BlockLottery(seed=seed)
+    waits = [lottery.draw({"m": power}, difficulty).wait_h for _ in range(800)]
+    assert np.mean(waits) == pytest.approx(target_h, rel=0.25)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=50),
+    st.floats(min_value=0.01, max_value=4.0),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_retarget_never_exceeds_clamp(window, spacing_factor, difficulty):
+    rule = BitcoinRetarget(window=window, clamp=4.0)
+    target = 1 / 6
+    times = list(np.arange(window + 1) * spacing_factor * target)
+    adjusted = rule.adjust(times, difficulty, target)
+    assert difficulty / 4.0 - 1e-12 <= adjusted <= difficulty * 4.0 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=10.0),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_eda_only_ever_lowers_difficulty(spacing_factor, difficulty):
+    rule = EmergencyAdjustment(lookback=6, trigger_factor=2.0)
+    target = 1 / 6
+    times = list(np.arange(8) * spacing_factor * target)
+    adjusted = rule.adjust(times, difficulty, target)
+    assert adjusted <= difficulty

@@ -1,0 +1,55 @@
+"""Tests for the multiplicative-weights baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.factories import random_configuration, random_game
+from repro.learning.regret import MultiplicativeWeightsLearner
+
+
+class TestMwu:
+    def test_runs_and_records(self):
+        game = random_game(5, 2, seed=0)
+        result = MultiplicativeWeightsLearner().run(game, 50, seed=1)
+        assert result.rounds == 50
+        assert len(result.configurations) == 50
+
+    def test_strategies_are_distributions(self):
+        game = random_game(6, 3, seed=2)
+        result = MultiplicativeWeightsLearner().run(game, 30, seed=3)
+        sums = result.final_strategies.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+        assert (result.final_strategies >= 0).all()
+
+    def test_reproducible(self):
+        game = random_game(4, 2, seed=4)
+        a = MultiplicativeWeightsLearner().run(game, 20, seed=7)
+        b = MultiplicativeWeightsLearner().run(game, 20, seed=7)
+        assert a.configurations == b.configurations
+
+    def test_initial_bias(self):
+        game = random_game(4, 2, seed=5)
+        start = random_configuration(game, seed=6)
+        result = MultiplicativeWeightsLearner().run(game, 5, seed=8, initial=start)
+        assert result.rounds == 5
+
+    def test_dominant_coin_attracts_weight(self):
+        # One coin pays 1000× the other: every miner's strategy must
+        # tilt toward it after enough rounds.
+        from repro.core.coin import RewardFunction
+        from repro.core.game import Game
+
+        game = Game.create([5, 4, 3, 2], [1000, 1])
+        learner = MultiplicativeWeightsLearner(step_size=1.0)
+        result = learner.run(game, 200, seed=9)
+        # Column 0 is the heavy coin.
+        assert (result.final_strategies[:, 0] > 0.5).mean() >= 0.75
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="step_size"):
+            MultiplicativeWeightsLearner(step_size=0)
+        with pytest.raises(ValueError, match="stability_window"):
+            MultiplicativeWeightsLearner(stability_window=0)
+        game = random_game(3, 2, seed=0)
+        with pytest.raises(ValueError, match="rounds"):
+            MultiplicativeWeightsLearner().run(game, 0)

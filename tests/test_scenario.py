@@ -1,0 +1,83 @@
+"""Tests for market scenarios and equilibrium replays."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.market.coins import bitcoin_cash_spec, bitcoin_spec
+from repro.market.exchange_rates import ConstantRate
+from repro.market.fees import ConstantFees
+from repro.market.population import uniform_population
+from repro.market.scenario import MarketScenario, btc_bch_scenario
+
+
+def _tiny_scenario(seed=0):
+    times = np.arange(0.0, 24.0, 6.0)
+    return MarketScenario(
+        specs=(bitcoin_spec(), bitcoin_cash_spec()),
+        rate_processes=(ConstantRate(6500.0), ConstantRate(620.0)),
+        fee_processes=(ConstantFees(2.0), ConstantFees(0.3)),
+        miners=uniform_population(8, seed=seed),
+        times_h=times,
+        seed=seed,
+    )
+
+
+class TestScenario:
+    def test_game_at_builds_valid_game(self):
+        scenario = _tiny_scenario()
+        game = scenario.game_at(0)
+        assert len(game.miners) == 8
+        assert {c.name for c in game.coins} == {"BTC", "BCH"}
+        assert game.rewards.total() > 0
+
+    def test_weight_series_cached(self):
+        scenario = _tiny_scenario()
+        assert scenario.weight_series() is scenario.weight_series()
+
+    def test_games_iterates_grid(self):
+        scenario = _tiny_scenario()
+        assert len(list(scenario.games())) == len(scenario.times_h)
+
+    def test_alignment_validated(self):
+        with pytest.raises(SimulationError, match="one-to-one"):
+            MarketScenario(
+                specs=(bitcoin_spec(),),
+                rate_processes=(ConstantRate(1.0), ConstantRate(2.0)),
+                fee_processes=(ConstantFees(0.0),),
+                miners=uniform_population(3, seed=0),
+                times_h=np.array([0.0]),
+            )
+
+
+class TestReplay:
+    def test_replay_ends_each_tick_at_equilibrium(self):
+        scenario = _tiny_scenario()
+        replay = scenario.replay(seed=1)
+        for index, config in enumerate(replay.configurations):
+            assert scenario.game_at(index).is_stable(config)
+
+    def test_constant_rates_settle_quickly(self):
+        scenario = _tiny_scenario()
+        replay = scenario.replay(seed=2)
+        # After the first tick's convergence, nothing changes.
+        assert sum(replay.steps_per_tick[1:]) == 0
+
+    def test_shares_sum_to_one(self):
+        scenario = _tiny_scenario()
+        replay = scenario.replay(seed=3)
+        total = replay.hashrate_share("BTC") + replay.hashrate_share("BCH")
+        assert np.allclose(total, 1.0)
+
+
+class TestFigure1Scenario:
+    def test_migration_shape(self):
+        scenario = btc_bch_scenario(horizon_h=240, resolution_h=8, tail_miners=10)
+        replay = scenario.replay(seed=4)
+        share = replay.hashrate_share("BCH")
+        jump = int(96 / 8)
+        pre = share[:jump].mean()
+        peak = share[jump:].max()
+        assert peak > 1.5 * pre, "the price spike must pull hashrate to BCH"
+        post = share[-3:].mean()
+        assert post < peak, "the migration must decay with the spike"

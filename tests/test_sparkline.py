@@ -1,0 +1,40 @@
+"""Tests for sparkline rendering."""
+
+from repro.util.sparkline import labeled_sparkline, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+        assert len(line) == 3
+
+    def test_monotone_series_is_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_extremes_hit_extreme_bars(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_pinned_scale_clamps(self):
+        line = sparkline([-10.0, 100.0], lo=0.0, hi=1.0)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(37))) == 37
+
+
+class TestLabeled:
+    def test_contains_label_and_range(self):
+        text = labeled_sparkline("BCH share", [0.1, 0.2, 0.3])
+        assert "BCH share" in text
+        assert "0.1" in text and "0.3" in text
+
+    def test_empty_series(self):
+        assert "(empty)" in labeled_sparkline("x", [])

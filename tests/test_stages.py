@@ -1,0 +1,150 @@
+"""Tests for the reward design stage machinery (Eq. 3, T_i, mover/anchor, Φ)."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.equilibrium import greedy_equilibrium
+from repro.core.factories import random_game
+from repro.core.game import Game
+from repro.design.stages import (
+    anchor_index,
+    in_stage_set,
+    intermediate_configuration,
+    mover_index,
+    ordered_miners,
+    progress_rank,
+    progress_vector,
+)
+from repro.exceptions import RewardDesignError
+
+
+@pytest.fixture
+def game():
+    return random_game(5, 3, seed=1)
+
+
+@pytest.fixture
+def target(game):
+    return greedy_equilibrium(game)
+
+
+class TestOrderedMiners:
+    def test_strictly_decreasing(self, game):
+        miners = ordered_miners(game)
+        for i in range(len(miners) - 1):
+            assert miners[i].power > miners[i + 1].power
+
+    def test_duplicate_powers_rejected(self):
+        game = Game.create([2, 2, 1], [1, 2])
+        with pytest.raises(RewardDesignError, match="strictly decreasing"):
+            ordered_miners(game)
+
+
+class TestIntermediateConfigurations:
+    def test_equation3_structure(self, game, target):
+        miners = ordered_miners(game)
+        n = len(miners)
+        for stage in range(1, n + 1):
+            milestone = intermediate_configuration(game, target, stage)
+            for k, miner in enumerate(miners, start=1):
+                if k <= stage:
+                    assert milestone.coin_of(miner) == target.coin_of(miner)
+                else:
+                    assert milestone.coin_of(miner) == target.coin_of(miners[stage - 1])
+
+    def test_final_stage_is_target(self, game, target):
+        n = len(game.miners)
+        assert intermediate_configuration(game, target, n) == target
+
+    def test_stage1_is_uniform(self, game, target):
+        milestone = intermediate_configuration(game, target, 1)
+        top_coin = target.coin_of(ordered_miners(game)[0])
+        assert all(coin == top_coin for _, coin in milestone)
+
+    def test_stage_bounds(self, game, target):
+        with pytest.raises(RewardDesignError):
+            intermediate_configuration(game, target, 0)
+        with pytest.raises(RewardDesignError):
+            intermediate_configuration(game, target, len(game.miners) + 1)
+
+
+class TestStageSet:
+    def test_milestones_are_members(self, game, target):
+        for stage in range(2, len(game.miners) + 1):
+            previous = intermediate_configuration(game, target, stage - 1)
+            milestone = intermediate_configuration(game, target, stage)
+            assert in_stage_set(game, target, stage, previous)
+            assert in_stage_set(game, target, stage, milestone)
+
+    def test_off_stage_configuration_excluded(self, game, target):
+        miners = ordered_miners(game)
+        stage = 2
+        previous = intermediate_configuration(game, target, stage - 1)
+        allowed = {
+            target.coin_of(miners[stage - 1]),
+            target.coin_of(miners[stage - 2]),
+        }
+        outside = [coin for coin in game.coins if coin not in allowed]
+        if not outside:
+            pytest.skip("all coins are stage coins for this target")
+        escaped = previous.move(miners[-1], outside[0])
+        assert not in_stage_set(game, target, stage, escaped)
+
+    def test_stage1_has_no_set(self, game, target):
+        config = intermediate_configuration(game, target, 1)
+        with pytest.raises(RewardDesignError, match="i ≥ 2"):
+            in_stage_set(game, target, 1, config)
+
+
+class TestMoverAnchor:
+    def test_mover_at_stage_start_is_last_miner(self, game, target):
+        # The paper: m_i(s^{i-1}) = n.
+        miners = ordered_miners(game)
+        n = len(miners)
+        for stage in range(2, n + 1):
+            previous = intermediate_configuration(game, target, stage - 1)
+            if previous == intermediate_configuration(game, target, stage):
+                continue  # consecutive identical destinations: stage is trivial
+            assert mover_index(game, target, stage, previous) == n
+
+    def test_anchor_is_mover_minus_one(self, game, target):
+        stage = 2
+        previous = intermediate_configuration(game, target, stage - 1)
+        if previous == intermediate_configuration(game, target, stage):
+            pytest.skip("trivial stage")
+        assert anchor_index(game, target, stage, previous) == mover_index(
+            game, target, stage, previous
+        ) - 1
+
+    def test_mover_undefined_at_milestone(self, game, target):
+        stage = 2
+        milestone = intermediate_configuration(game, target, stage)
+        dest = target.coin_of(ordered_miners(game)[stage - 1])
+        # Only meaningful when every miner ends on dest (mover truly gone).
+        if any(coin != dest for _, coin in milestone):
+            pytest.skip("milestone keeps earlier miners elsewhere")
+        with pytest.raises(RewardDesignError):
+            mover_index(game, target, stage, milestone)
+
+
+class TestProgress:
+    def test_vector_length(self, game, target):
+        stage = 2
+        config = intermediate_configuration(game, target, stage - 1)
+        vec = progress_vector(game, target, stage, config)
+        assert len(vec) == len(game.miners) - stage + 1
+
+    def test_rank_increases_toward_milestone(self, game, target):
+        miners = ordered_miners(game)
+        stage = 2
+        previous = intermediate_configuration(game, target, stage - 1)
+        milestone = intermediate_configuration(game, target, stage)
+        if previous == milestone:
+            pytest.skip("trivial stage")
+        moved = previous.move(miners[-1], target.coin_of(miners[stage - 1]))
+        assert progress_rank(game, target, stage, moved) > progress_rank(
+            game, target, stage, previous
+        )
+        assert progress_rank(game, target, stage, milestone) >= progress_rank(
+            game, target, stage, moved
+        )

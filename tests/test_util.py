@@ -1,0 +1,114 @@
+"""Tests for utilities: tables, RNG helpers, validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import Table, format_table
+from repro.util.validation import require, require_type
+
+
+class TestTables:
+    def test_render_contains_rows(self):
+        table = Table("Title", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "Title" in text
+        assert "1" in text and "2.500" in text
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_float_formats(self):
+        table = Table("T", ["x"])
+        table.add_row(2.0)
+        table.add_row(1234567.0)
+        table.add_row(0.0001)
+        rendered = table.render()
+        assert "2.0" in rendered
+        assert "1234567.0" in rendered  # integral floats keep one decimal
+        assert "0.0001" in rendered  # small values use compact %g form
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) <= 2  # header + ruler + rows
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        assert make_rng(7).integers(0, 100) == make_rng(7).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_bad_seed_type(self):
+        with pytest.raises(TypeError):
+            make_rng("seed")
+
+    def test_spawn_independence(self):
+        a, b = spawn_rngs(1, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_spawn_deterministic(self):
+        first = [rng.integers(0, 10**9) for rng in spawn_rngs(5, 3)]
+        second = [rng.integers(0, 10**9) for rng in spawn_rngs(5, 3)]
+        assert first == second
+
+    def test_spawn_count_validated(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_custom_error(self):
+        with pytest.raises(KeyError):
+            require(False, "k", error=KeyError)
+
+    def test_require_type(self):
+        require_type(1, int, "x")
+        with pytest.raises(TypeError, match="x must be int"):
+            require_type("s", int, "x")
+
+    def test_require_type_tuple(self):
+        require_type(1.5, (int, float), "y")
+        with pytest.raises(TypeError, match="int or float"):
+            require_type("s", (int, float), "y")
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        from repro.exceptions import (
+            AssumptionViolatedError,
+            ConvergenceError,
+            GameOfCoinsError,
+            InvalidConfigurationError,
+            InvalidModelError,
+            NotAnEquilibriumError,
+            RewardDesignError,
+            SimulationError,
+        )
+
+        for exc in (
+            InvalidModelError,
+            InvalidConfigurationError,
+            NotAnEquilibriumError,
+            ConvergenceError,
+            AssumptionViolatedError,
+            RewardDesignError,
+            SimulationError,
+        ):
+            assert issubclass(exc, GameOfCoinsError)

@@ -1,0 +1,83 @@
+"""Tests for coin-weight computation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.coin import make_coins
+from repro.exceptions import SimulationError
+from repro.market.coins import bitcoin_spec
+from repro.market.weights import WeightSeries, build_weight_series, weight_path
+
+
+TIMES = np.arange(0.0, 10.0, 1.0)
+
+
+class TestWeightPath:
+    def test_formula(self):
+        spec = bitcoin_spec(fees_per_block=2.5)  # 15 coins/block, 6 blocks/h
+        rates = np.full(10, 100.0)
+        fees = np.full(10, 2.5)
+        path = weight_path(spec, rates, fees)
+        assert path[0] == pytest.approx((12.5 + 2.5) * 100.0 * 6.0)
+
+    def test_length_mismatch_rejected(self):
+        spec = bitcoin_spec()
+        with pytest.raises(SimulationError, match="lengths differ"):
+            weight_path(spec, np.ones(3), np.ones(4))
+
+
+class TestWeightSeries:
+    def _series(self):
+        spec = bitcoin_spec()
+        rates = np.linspace(100.0, 200.0, 10)
+        fees = np.zeros(10)
+        return build_weight_series(TIMES, [(spec, rates, fees)])
+
+    def test_at(self):
+        series = self._series()
+        snapshot = series.at(0)
+        assert snapshot["BTC"] == pytest.approx(12.5 * 100.0 * 6.0)
+
+    def test_reward_function_is_exact(self):
+        series = self._series()
+        coins = make_coins(["BTC"])
+        rewards = series.reward_function(3, coins)
+        assert rewards[coins[0]] == Fraction(float(series.weights["BTC"][3]))
+
+    def test_reward_function_unknown_coin(self):
+        series = self._series()
+        coins = make_coins(["DOGE"])
+        with pytest.raises(SimulationError, match="no weight path"):
+            series.reward_function(0, coins)
+
+    def test_ratio(self):
+        spec = bitcoin_spec()
+        series = build_weight_series(
+            TIMES,
+            [
+                (spec, np.full(10, 100.0), np.zeros(10)),
+                (bitcoin_spec(fees_per_block=0.0).__class__(
+                    name="BCH", block_interval_s=600.0, block_subsidy=12.5
+                ), np.full(10, 50.0), np.zeros(10)),
+            ],
+        )
+        assert np.allclose(series.ratio("BCH", "BTC"), 0.5)
+
+    def test_duplicate_coin_rejected(self):
+        spec = bitcoin_spec()
+        with pytest.raises(SimulationError, match="duplicate"):
+            build_weight_series(
+                TIMES,
+                [(spec, np.ones(10), np.zeros(10)), (spec, np.ones(10), np.zeros(10))],
+            )
+
+    def test_nonpositive_weight_rejected(self):
+        spec = bitcoin_spec()
+        with pytest.raises(SimulationError, match="positive"):
+            WeightSeries(times_h=TIMES, weights={"BTC": np.zeros(10)})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="points"):
+            WeightSeries(times_h=TIMES, weights={"BTC": np.ones(3)})

@@ -1,0 +1,115 @@
+"""Tests for the manipulation cost models (whale fees, price impact)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.equilibrium import enumerate_equilibria
+from repro.core.factories import random_game
+from repro.design.cost import CostLedger, PhaseCost
+from repro.design.mechanism import DynamicRewardDesign
+from repro.exceptions import SimulationError
+from repro.manipulation.exchange import (
+    PriceImpactModel,
+    boost_factor_needed,
+    exchange_cost_of_phase,
+)
+from repro.manipulation.whale import budget_from_ledger, manipulation_roi
+
+
+def _executed_manipulation():
+    for seed in range(20):
+        game = random_game(6, 2, seed=seed)
+        equilibria = enumerate_equilibria(game)
+        if len(equilibria) < 2:
+            continue
+        result = DynamicRewardDesign().run(game, equilibria[0], equilibria[1], seed=3)
+        return game, equilibria[0], equilibria[1], result
+    raise AssertionError("no manipulation could be executed")
+
+
+class TestWhaleBudget:
+    def test_budget_matches_ledger(self):
+        ledger = CostLedger()
+        ledger.add(PhaseCost(stage=1, iteration=1, excess_per_round=Fraction(4), rounds=3))
+        budget = budget_from_ledger(ledger)
+        assert budget.total_excess == 12
+        assert budget.fee_spend == 12
+        assert budget.rounds == 3
+
+    def test_rounds_per_block_scales(self):
+        ledger = CostLedger()
+        ledger.add(PhaseCost(stage=1, iteration=1, excess_per_round=Fraction(4), rounds=3))
+        budget = budget_from_ledger(ledger, rounds_per_block=0.5)
+        assert budget.fee_spend == 6
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SimulationError):
+            budget_from_ledger(CostLedger(), rounds_per_block=0)
+
+
+class TestRoi:
+    def test_break_even_is_cost_over_gain(self):
+        game, before, after, result = _executed_manipulation()
+        # Find a real beneficiary.
+        beneficiary = None
+        for miner in game.miners:
+            if game.payoff(miner, after) > game.payoff(miner, before):
+                beneficiary = miner
+                break
+        if beneficiary is None:
+            pytest.skip("no beneficiary in this pair (possible, rare)")
+        roi = manipulation_roi(game, beneficiary, before, after, result.ledger)
+        gain = game.payoff(beneficiary, after) - game.payoff(beneficiary, before)
+        assert roi.gain_per_round == gain
+        assert roi.break_even_rounds == pytest.approx(float(roi.cost / gain))
+
+    def test_roi_at_horizon(self):
+        game, before, after, result = _executed_manipulation()
+        miner = game.miners[0]
+        roi = manipulation_roi(game, miner, before, after, result.ledger)
+        if roi.gain_per_round <= 0:
+            assert roi.break_even_rounds is None
+        else:
+            horizon = int(roi.break_even_rounds) + 1
+            assert roi.roi_at(horizon) > -1.0
+
+    def test_loser_never_breaks_even(self):
+        game, before, after, result = _executed_manipulation()
+        loser = None
+        for miner in game.miners:
+            if game.payoff(miner, after) < game.payoff(miner, before):
+                loser = miner
+                break
+        if loser is None:
+            pytest.skip("no strict loser in this pair")
+        roi = manipulation_roi(game, loser, before, after, result.ledger)
+        assert roi.break_even_rounds is None
+
+
+class TestPriceImpact:
+    def test_cost_is_convex_in_factor(self):
+        model = PriceImpactModel(depth=Fraction(100))
+        assert model.cost_of_factor(1) == 0
+        assert model.cost_of_factor(2) == 100
+        assert model.cost_of_factor(3) == 400
+        # Convexity: doubling the push more than doubles the cost.
+        assert model.cost_of_factor(3) > 2 * model.cost_of_factor(2)
+
+    def test_factor_below_one_rejected(self):
+        model = PriceImpactModel(depth=Fraction(1))
+        with pytest.raises(SimulationError, match="factor"):
+            model.cost_of_factor(Fraction(1, 2))
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            PriceImpactModel(depth=Fraction(0))
+
+    def test_boost_factor(self):
+        assert boost_factor_needed(10, 30) == 3
+        assert boost_factor_needed(10, 5) == 1, "never needs to lower a price"
+
+    def test_phase_cost(self):
+        model = PriceImpactModel(depth=Fraction(10))
+        assert exchange_cost_of_phase(10, 20, 4, model) == 40
+        assert exchange_cost_of_phase(10, 10, 4, model) == 0
