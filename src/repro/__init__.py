@@ -18,11 +18,51 @@ Quickstart::
     trajectory = LearningEngine().run(game, start, seed=2)
     assert trajectory.converged and game.is_stable(trajectory.final)
 
+Performance & backends
+----------------------
+Every learning loop runs on one of two numeric backends:
+
+``backend="fast"`` (the default)
+    The :mod:`repro.kernel` integer fast path. Powers and rewards are
+    normalized to common integer denominators once per game; every
+    better-response / stability comparison in the step loop is then a
+    plain integer cross-multiplication — no
+    :class:`fractions.Fraction` is allocated in the hot path. The fast
+    backend is *exact*: it reproduces the Fraction core's decisions
+    bit-for-bit (same strict inequalities, same tie-breaks, same RNG
+    draw sequence), which ``tests/test_kernel_parity.py`` asserts on
+    hundreds of randomized games. Expect order-of-magnitude speedups
+    on convergence sweeps (E2 runs ~20× faster).
+
+``backend="exact"``
+    The original Fraction loop. Pick it when auditing the kernel
+    itself, or when running a custom policy/scheduler subclass — the
+    engine automatically falls back to it for strategies the kernel
+    has no translation for, so custom code always sees the semantics
+    it overrode.
+
+Many-trajectory workloads (seeds × schedulers × policies) can
+additionally fan out over processes with
+:class:`repro.kernel.BatchRunner` (or ``workers=N`` on the E2/E9
+experiment runners). Per-run RNG streams are spawned up front from one
+root seed, so serial, threaded and multi-process batches all return
+identical results.
+
+To check a working tree locally the way CI does::
+
+    PYTHONPATH=src python -m pytest -x -q          # tier-1 tests
+    ruff check src                                 # lint (CI's scope)
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only  # benches
+
 Subpackages
 -----------
 ``repro.core``
     Miners, coins, configurations, the game, potentials, equilibria,
     assumption checkers (paper Sections 2–4, Appendices A–B).
+``repro.kernel``
+    The exact integer fast path behind ``backend="fast"`` and the
+    :class:`~repro.kernel.batch.BatchRunner` for parallel trajectory
+    batches.
 ``repro.learning``
     Better-response policies × activation schedulers × engine; an MWU
     regret-learning baseline.
@@ -75,6 +115,7 @@ from repro.exceptions import (
     RewardDesignError,
     SimulationError,
 )
+from repro.kernel import BatchRunner, KernelGame, TrajectorySummary, run_trajectory_batch
 from repro.learning import (
     BestResponsePolicy,
     LearningEngine,
@@ -115,6 +156,10 @@ __all__ = [
     "NotAnEquilibriumError",
     "RewardDesignError",
     "SimulationError",
+    "BatchRunner",
+    "KernelGame",
+    "TrajectorySummary",
+    "run_trajectory_batch",
     "BestResponsePolicy",
     "LearningEngine",
     "MinimalGainPolicy",

@@ -19,7 +19,7 @@ against "pay for the mechanism".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.configuration import Configuration
 from repro.core.factories import random_configuration
@@ -69,12 +69,13 @@ def basin_profile(
     samples: int = 50,
     policy: Optional[BetterResponsePolicy] = None,
     seed: RngLike = None,
+    backend: str = "fast",
 ) -> BasinProfile:
     """Estimate the landing distribution from uniform random starts."""
     if samples < 1:
         raise ValueError(f"samples must be ≥ 1, got {samples}")
     rngs = spawn_rngs(seed if isinstance(seed, int) else None, 2 * samples)
-    engine = LearningEngine(policy=policy, record_configurations=False)
+    engine = LearningEngine(policy=policy, record_configurations=False, backend=backend)
     counts: Dict[Configuration, int] = {}
     for index in range(samples):
         start = random_configuration(game, seed=rngs[2 * index])
@@ -92,11 +93,12 @@ def basin_by_policy(
     *,
     samples: int = 30,
     seed: int = 0,
+    backend: str = "fast",
 ) -> Dict[str, BasinProfile]:
     """Landing distributions per policy (shared starting points)."""
     return {
         policy.name: basin_profile(
-            game, samples=samples, policy=policy, seed=seed
+            game, samples=samples, policy=policy, seed=seed, backend=backend
         )
         for policy in policies
     }

@@ -12,14 +12,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.configuration import Configuration
 from repro.core.factories import random_configuration, random_game
 from repro.core.game import Game
 from repro.core.potential import is_strictly_increasing_along
+from repro.kernel.batch import BatchRunner
 from repro.learning.engine import LearningEngine
 from repro.learning.policies import BetterResponsePolicy
 from repro.learning.schedulers import ActivationScheduler
-from repro.util.rng import RngLike, make_rng, spawn_rngs
+from repro.util.rng import RngLike, spawn_rngs
 
 
 @dataclass(frozen=True)
@@ -54,27 +54,52 @@ def measure_convergence(
     scheduler: Optional[ActivationScheduler] = None,
     audit_potential: bool = False,
     seed: RngLike = None,
+    backend: str = "fast",
+    runner: Optional[BatchRunner] = None,
 ) -> ConvergenceStats:
-    """Run learning *runs* times from random starts and summarize steps."""
+    """Run learning *runs* times from random starts and summarize steps.
+
+    *backend* selects the numeric loop (``"fast"`` kernel vs
+    ``"exact"`` Fractions — identical step counts either way). Passing
+    a :class:`~repro.kernel.batch.BatchRunner` as *runner* executes the
+    runs through it (possibly across worker processes); its seeding
+    scheme matches the serial loop, so the statistics are identical.
+    Potential audits need full trajectories and therefore always run
+    serially in-process.
+    """
     if runs < 1:
         raise ValueError(f"runs must be ≥ 1, got {runs}")
-    rngs = spawn_rngs(seed if isinstance(seed, int) else None, 2 * runs)
-    engine = LearningEngine(
-        policy=policy,
-        scheduler=scheduler,
-        record_configurations=audit_potential,
-    )
+    if runner is not None and runner.backend != backend:
+        raise ValueError(
+            f"backend={backend!r} conflicts with runner.backend={runner.backend!r}; "
+            "configure the backend on one of them"
+        )
+    root_seed = seed if isinstance(seed, int) else None
     steps: List[int] = []
     monotone = 0
-    for run_index in range(runs):
-        start = random_configuration(game, seed=rngs[2 * run_index])
-        trajectory = engine.run(game, start, seed=rngs[2 * run_index + 1])
-        steps.append(trajectory.length)
-        if audit_potential:
-            if is_strictly_increasing_along(game, trajectory.configurations):
+    if runner is not None and not audit_potential:
+        summaries = runner.run(
+            game, runs=runs, policy=policy, scheduler=scheduler, seed=root_seed
+        )
+        steps = [summary.steps for summary in summaries]
+        monotone = runs
+    else:
+        rngs = spawn_rngs(root_seed, 2 * runs)
+        engine = LearningEngine(
+            policy=policy,
+            scheduler=scheduler,
+            record_configurations=audit_potential,
+            backend=backend,
+        )
+        for run_index in range(runs):
+            start = random_configuration(game, seed=rngs[2 * run_index])
+            trajectory = engine.run(game, start, seed=rngs[2 * run_index + 1])
+            steps.append(trajectory.length)
+            if audit_potential:
+                if is_strictly_increasing_along(game, trajectory.configurations):
+                    monotone += 1
+            else:
                 monotone += 1
-        else:
-            monotone += 1
     array = np.array(steps, dtype=float)
     return ConvergenceStats(
         runs=runs,
@@ -95,6 +120,8 @@ def convergence_sweep(
     scheduler: Optional[ActivationScheduler] = None,
     power_distribution: str = "uniform",
     seed: int = 0,
+    backend: str = "fast",
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[tuple, ConvergenceStats]:
     """The E2 grid: convergence stats per (n miners, k coins) cell."""
     results: Dict[tuple, ConvergenceStats] = {}
@@ -113,5 +140,7 @@ def convergence_sweep(
                 policy=policy,
                 scheduler=scheduler,
                 seed=int(rng.integers(0, 2**31)),
+                backend=backend,
+                runner=runner,
             )
     return results

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.core.configuration import Configuration
 from repro.core.game import Game

@@ -21,7 +21,7 @@ Everything here is exponential in ``n`` and guarded accordingly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.configuration import Configuration
 from repro.core.game import Game

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.coin import Coin
 from repro.core.configuration import Configuration

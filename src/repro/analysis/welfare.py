@@ -10,11 +10,10 @@ statistics used by the experiment tables.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.core.configuration import Configuration
 from repro.core.game import Game
-from repro.core.miner import Miner
 
 
 def social_welfare(game: Game, config: Configuration) -> Fraction:

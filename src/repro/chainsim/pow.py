@@ -13,7 +13,7 @@ measure how fast realized rewards concentrate around it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

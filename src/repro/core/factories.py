@@ -9,7 +9,7 @@ it exactly (small games) and redraws on the rare collision.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

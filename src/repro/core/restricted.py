@@ -27,7 +27,7 @@ Scrypt coin. This module implements that extension:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.coin import Coin
 from repro.core.configuration import Configuration

@@ -17,7 +17,7 @@ order, matching the paper.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 from repro.core.configuration import Configuration
 from repro.core.game import Game

@@ -19,7 +19,7 @@ before deploying:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.core.coin import Coin, RewardFunction
 from repro.core.configuration import Configuration

@@ -4,14 +4,48 @@ Each experiment module exposes ``run(...) -> ExperimentResult`` with
 keyword parameters sized so the default run finishes in seconds. The
 result couples the printable table (what EXPERIMENTS.md records) with a
 metrics dict (what tests and benchmarks assert on).
+
+Learning-heavy runners additionally take ``backend=`` (``"fast"``
+integer kernel — the default — or ``"exact"`` Fractions; identical
+results) and ``workers=`` (0 = serial in-process, otherwise a
+:class:`~repro.kernel.batch.BatchRunner` fans trajectories out over
+that many worker processes). :func:`resolve_batch_runner` centralizes
+that translation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
+from repro.kernel.batch import BatchRunner
 from repro.util.tables import Table
+
+
+def resolve_batch_runner(
+    *,
+    backend: str = "fast",
+    workers: int = 0,
+    executor: str = "process",
+) -> Optional[BatchRunner]:
+    """The experiments' ``workers=`` convention → an optional runner.
+
+    ``workers=0`` (the default) means plain serial execution — callers
+    get ``None`` and fall through to their in-process loop.
+    ``workers≥1`` builds a :class:`BatchRunner` capped at that many
+    workers; batch seeding matches the serial loop, so results are
+    identical either way. An explicit worker count means the caller
+    wants the pool, so the executor defaults to ``"process"`` — the
+    runner reuses one pool across all of the experiment's cells, which
+    amortizes start-up, but tiny default workloads may still finish
+    faster with ``workers=0``. Callers should ``close()`` the runner
+    (it is a context manager) when the sweep is done.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers == 0:
+        return None
+    return BatchRunner(backend=backend, executor=executor, max_workers=workers)
 
 
 @dataclass

@@ -17,7 +17,6 @@ shape of Figure 1(b).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.chainsim import BitcoinRetarget, MiningSimulation, SimMiner, bch_2017_rule
 from repro.experiments.common import ExperimentResult

@@ -12,7 +12,7 @@ from typing import Sequence
 
 from repro.analysis.convergence import measure_convergence
 from repro.core.factories import random_game
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, resolve_batch_runner
 from repro.learning.policies import (
     BestResponsePolicy,
     MinimalGainPolicy,
@@ -29,8 +29,15 @@ def run(
     runs_per_cell: int = 10,
     power_distribution: str = "uniform",
     seed: int = 0,
+    backend: str = "fast",
+    workers: int = 0,
 ) -> ExperimentResult:
-    """The E2 sweep; every cell must converge in 100% of runs."""
+    """The E2 sweep; every cell must converge in 100% of runs.
+
+    ``backend``/``workers`` follow the convention documented in
+    :mod:`repro.experiments.common` — same numbers, different speed.
+    """
+    runner = resolve_batch_runner(backend=backend, workers=workers)
     policies = (RandomImprovingPolicy(), BestResponsePolicy(), MinimalGainPolicy())
     table = Table(
         "E2 — convergence of better-response learning (Theorem 1)",
@@ -41,30 +48,36 @@ def run(
     max_steps_seen = 0
     cell_rngs = spawn_rngs(seed, len(miner_counts) * len(coin_counts))
     cell = 0
-    for n in miner_counts:
-        for k in coin_counts:
-            rng = cell_rngs[cell]
-            cell += 1
-            game = random_game(n, k, power_distribution=power_distribution, seed=rng)
-            for policy in policies:
-                stats = measure_convergence(
-                    game,
-                    runs=runs_per_cell,
-                    policy=policy,
-                    seed=int(rng.integers(0, 2**31)),
-                )
-                table.add_row(
-                    n,
-                    k,
-                    policy.name,
-                    stats.mean_steps,
-                    stats.p95_steps,
-                    stats.max_steps,
-                    "100%",
-                )
-                total_runs += stats.runs
-                converged_runs += stats.runs  # engine raises otherwise
-                max_steps_seen = max(max_steps_seen, stats.max_steps)
+    try:
+        for n in miner_counts:
+            for k in coin_counts:
+                rng = cell_rngs[cell]
+                cell += 1
+                game = random_game(n, k, power_distribution=power_distribution, seed=rng)
+                for policy in policies:
+                    stats = measure_convergence(
+                        game,
+                        runs=runs_per_cell,
+                        policy=policy,
+                        seed=int(rng.integers(0, 2**31)),
+                        backend=backend,
+                        runner=runner,
+                    )
+                    table.add_row(
+                        n,
+                        k,
+                        policy.name,
+                        stats.mean_steps,
+                        stats.p95_steps,
+                        stats.max_steps,
+                        "100%",
+                    )
+                    total_runs += stats.runs
+                    converged_runs += stats.runs  # engine raises otherwise
+                    max_steps_seen = max(max_steps_seen, stats.max_steps)
+    finally:
+        if runner is not None:
+            runner.close()
     return ExperimentResult(
         experiment="E2",
         table=table,

@@ -9,7 +9,6 @@ violation would print as a failure row.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.core.factories import random_configuration, random_game
 from repro.core.potential import compare_potential, rpu_list

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.analysis.efficiency import efficiency_report
 from repro.analysis.welfare import gini_coefficient, verifies_observation3
-from repro.core.assumptions import check_generic, check_never_alone
+from repro.core.assumptions import check_never_alone
 from repro.core.equilibrium import enumerate_equilibria
 from repro.core.factories import random_game
 from repro.experiments.common import ExperimentResult

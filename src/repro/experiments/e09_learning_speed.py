@@ -9,13 +9,9 @@ work. Reported: steps (or rounds) to stability per process.
 
 from __future__ import annotations
 
-from typing import Sequence
-
-import numpy as np
-
 from repro.analysis.convergence import measure_convergence
 from repro.core.factories import random_game
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, resolve_batch_runner
 from repro.learning.policies import (
     BestResponsePolicy,
     EpsilonGreedyPolicy,
@@ -42,8 +38,15 @@ def run(
     mwu_rounds: int = 300,
     power_distribution: str = "pareto",
     seed: int = 0,
+    backend: str = "fast",
+    workers: int = 0,
 ) -> ExperimentResult:
-    """Convergence speed by learning process on a fixed game family."""
+    """Convergence speed by learning process on a fixed game family.
+
+    ``backend``/``workers`` follow the convention documented in
+    :mod:`repro.experiments.common` — same numbers, different speed.
+    """
+    runner = resolve_batch_runner(backend=backend, workers=workers)
     rngs = spawn_rngs(seed, 4)
     game = random_game(
         miners, coins, power_distribution=power_distribution, seed=rngs[0]
@@ -67,23 +70,29 @@ def run(
     )
     fastest = None
     slowest = None
-    for policy in policies:
-        for scheduler in schedulers:
-            stats = measure_convergence(
-                game,
-                runs=runs,
-                policy=policy,
-                scheduler=scheduler,
-                seed=int(rngs[1].integers(0, 2**31)),
-            )
-            label = f"{policy.name} × {scheduler.name}"
-            table.add_row(
-                label, stats.mean_steps, stats.median_steps, stats.p95_steps, stats.max_steps
-            )
-            if fastest is None or stats.mean_steps < fastest[1]:
-                fastest = (label, stats.mean_steps)
-            if slowest is None or stats.mean_steps > slowest[1]:
-                slowest = (label, stats.mean_steps)
+    try:
+        for policy in policies:
+            for scheduler in schedulers:
+                stats = measure_convergence(
+                    game,
+                    runs=runs,
+                    policy=policy,
+                    scheduler=scheduler,
+                    seed=int(rngs[1].integers(0, 2**31)),
+                    backend=backend,
+                    runner=runner,
+                )
+                label = f"{policy.name} × {scheduler.name}"
+                table.add_row(
+                    label, stats.mean_steps, stats.median_steps, stats.p95_steps, stats.max_steps
+                )
+                if fastest is None or stats.mean_steps < fastest[1]:
+                    fastest = (label, stats.mean_steps)
+                if slowest is None or stats.mean_steps > slowest[1]:
+                    slowest = (label, stats.mean_steps)
+    finally:
+        if runner is not None:
+            runner.close()
 
     # MWU comparator: rounds to a stable realized profile (if at all).
     learner = MultiplicativeWeightsLearner(step_size=0.3)

@@ -13,7 +13,6 @@ Two parts:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.security import dominance_target, vulnerable_coins
 from repro.core.equilibrium import enumerate_equilibria, greedy_equilibrium

@@ -8,8 +8,6 @@ for the planner's chosen beneficiary compared with "wait for luck".
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.basins import basin_by_policy, basin_profile
 from repro.core.equilibrium import enumerate_equilibria
 from repro.core.factories import random_game
@@ -28,8 +26,13 @@ def run(
     samples: int = 40,
     horizon_rounds: int = 20_000,
     seed: int = 0,
+    backend: str = "fast",
 ) -> ExperimentResult:
-    """Basin entropy per policy + planner verdicts."""
+    """Basin entropy per policy + planner verdicts.
+
+    ``backend`` selects the learning loop's arithmetic (see
+    :mod:`repro.experiments.common`); verdicts are identical either way.
+    """
     table = Table(
         "E13 — equilibrium basins and the manipulation planner",
         [
@@ -48,12 +51,18 @@ def run(
     for index in range(games):
         game = random_game(miners, coins, seed=rngs[index])
         equilibria = enumerate_equilibria(game)
-        profile = basin_profile(game, samples=samples, seed=int(rngs[index].integers(0, 2**31)))
+        profile = basin_profile(
+            game,
+            samples=samples,
+            seed=int(rngs[index].integers(0, 2**31)),
+            backend=backend,
+        )
         by_policy = basin_by_policy(
             game,
             (BestResponsePolicy(), RandomImprovingPolicy(), MinimalGainPolicy()),
             samples=max(samples // 2, 10),
             seed=int(rngs[index].integers(0, 2**31)),
+            backend=backend,
         )
         entropies = [p.entropy() for p in by_policy.values()]
         verdict = "n/a"

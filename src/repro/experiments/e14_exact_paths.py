@@ -9,7 +9,6 @@ agreement, and reports how close empirical learners get to the bound.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.paths import (
     improvement_graph,

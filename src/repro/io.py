@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import json
 from fractions import Fraction
-from typing import Any, Dict, List, Union
+from typing import Any, Dict
 
-from repro.core.coin import Coin, RewardFunction, make_coins
+from repro.core.coin import RewardFunction, make_coins
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner

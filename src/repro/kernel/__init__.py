@@ -1,0 +1,30 @@
+"""``repro.kernel`` — exact integer fast path and batched execution.
+
+The kernel is the performance seam of the library:
+
+* :class:`~repro.kernel.core.KernelGame` normalizes a game's powers and
+  rewards to common integer denominators once, then answers every
+  better-response / stability query with integer cross-multiplication —
+  bit-for-bit the decisions of the :class:`fractions.Fraction` core
+  with none of its per-comparison allocation.
+* :mod:`repro.kernel.engine` hosts the fast trajectory loops used by
+  the learning engines when ``backend="fast"`` (the default).
+* :class:`~repro.kernel.batch.BatchRunner` fans independent
+  trajectories (seeds × schedulers × policies) out over
+  :mod:`concurrent.futures` workers with per-run RNG streams spawned
+  from one root seed, so results are identical serial or parallel.
+"""
+
+from repro.kernel.batch import BatchRunner, TrajectorySummary, run_trajectory_batch
+from repro.kernel.core import KernelGame
+from repro.kernel.engine import run_fast, run_restricted_fast, supports
+
+__all__ = [
+    "BatchRunner",
+    "KernelGame",
+    "TrajectorySummary",
+    "run_fast",
+    "run_restricted_fast",
+    "run_trajectory_batch",
+    "supports",
+]

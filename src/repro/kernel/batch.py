@@ -1,0 +1,289 @@
+"""Batched trajectory execution over :mod:`concurrent.futures`.
+
+Multi-seed experiments (E2 convergence sweeps, E9 learning-speed grids,
+E13 basin sampling) are embarrassingly parallel: every trajectory is an
+independent ``(game, policy, scheduler, seed)`` cell. The
+:class:`BatchRunner` fans such cells out to worker processes (or
+threads, or runs them serially) and returns light-weight, picklable
+:class:`TrajectorySummary` records.
+
+Determinism is scheduler-independent by construction: all per-run RNG
+streams are spawned *up front* from one root ``SeedSequence`` — the
+same scheme :func:`repro.util.rng.spawn_rngs` uses — so the summaries
+are identical whether the batch runs serially, on threads, or across
+processes, and identical to a plain loop over
+:class:`~repro.learning.engine.LearningEngine` with the same seed.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from pickle import PicklingError
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+
+#: Below this many runs a process pool costs more than it saves.
+_AUTO_PROCESS_THRESHOLD = 32
+
+
+@dataclass(frozen=True)
+class TrajectorySummary:
+    """Picklable outcome of one batched learning run."""
+
+    run_index: int
+    policy_name: str
+    scheduler_name: str
+    steps: int
+    converged: bool
+    #: Final coin name per miner, in ``game.miners`` order.
+    final_coins: Tuple[str, ...]
+
+    def final_configuration(self, game: Game) -> Configuration:
+        """Materialize the final configuration against *game*."""
+        return game.configuration(self.final_coins)
+
+
+def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
+    """Worker: run a contiguous chunk of trajectories for one game.
+
+    Module-level (and importing lazily) so process pools can pickle it
+    without pulling the engine into the kernel's import graph.
+    """
+    from repro.core.factories import random_configuration
+    from repro.learning.engine import LearningEngine
+
+    game, policy, scheduler, backend, max_steps, first_index, seed_pairs = payload
+    # Chunks may run concurrently on threads; stateful strategies (e.g.
+    # RoundRobinScheduler's cursor) must not be shared across them.
+    policy = copy.deepcopy(policy)
+    scheduler = copy.deepcopy(scheduler)
+    engine_kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    engine = LearningEngine(
+        policy=policy,
+        scheduler=scheduler,
+        record_configurations=False,
+        backend=backend,
+        **engine_kwargs,
+    )
+    summaries: List[TrajectorySummary] = []
+    assert engine.policy is not None and engine.scheduler is not None
+    for offset, (start_seed, run_seed) in enumerate(seed_pairs):
+        start = random_configuration(game, seed=np.random.default_rng(start_seed))
+        trajectory = engine.run(game, start, seed=np.random.default_rng(run_seed))
+        final = trajectory.final
+        summaries.append(
+            TrajectorySummary(
+                run_index=first_index + offset,
+                policy_name=engine.policy.name,
+                scheduler_name=engine.scheduler.name,
+                steps=trajectory.length,
+                converged=trajectory.converged,
+                final_coins=tuple(final.coin_of(miner).name for miner in game.miners),
+            )
+        )
+    return summaries
+
+
+@dataclass
+class BatchRunner:
+    """Run many independent learning trajectories, optionally in parallel.
+
+    Parameters
+    ----------
+    backend:
+        Numeric backend handed to every worker's engine (``"fast"`` or
+        ``"exact"``).
+    executor:
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``
+        (processes for large batches on multi-core hosts, serial
+        otherwise). Results are identical across all modes.
+    max_workers:
+        Worker count for the pooled modes (default: ``os.cpu_count()``).
+    max_steps:
+        Per-trajectory step budget (default: the engine's own
+        ``DEFAULT_MAX_STEPS``).
+
+    Pooled executors are created lazily on first use and reused across
+    :meth:`run` calls, so grid sweeps amortize process start-up; call
+    :meth:`close` (or use the runner as a context manager) to shut the
+    pool down eagerly.
+    """
+
+    backend: str = "fast"
+    executor: str = "auto"
+    max_workers: Optional[int] = None
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._pool = None
+        self._pool_key = None
+        if self.backend not in ("fast", "exact"):
+            raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
+        if self.executor not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                f"executor must be 'auto', 'serial', 'thread' or 'process', "
+                f"got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        game: Game,
+        *,
+        runs: int,
+        policy=None,
+        scheduler=None,
+        seed: Optional[int] = None,
+    ) -> List[TrajectorySummary]:
+        """*runs* trajectories from random starts, in run-index order.
+
+        Seeding matches :func:`repro.analysis.convergence.measure_convergence`:
+        stream ``2i`` draws run *i*'s start, stream ``2i+1`` drives its
+        engine, all spawned from ``SeedSequence(seed)``.
+        """
+        if runs < 1:
+            raise ValueError(f"runs must be ≥ 1, got {runs}")
+        root = np.random.SeedSequence(seed)
+        streams = root.spawn(2 * runs)
+        seed_pairs = [(streams[2 * i], streams[2 * i + 1]) for i in range(runs)]
+        return self._execute(game, policy, scheduler, seed_pairs)
+
+    def run_grid(
+        self,
+        game: Game,
+        *,
+        policies: Sequence,
+        schedulers: Sequence,
+        runs_per_pair: int,
+        seed: Optional[int] = None,
+    ) -> Dict[Tuple[str, str], List[TrajectorySummary]]:
+        """The seeds × schedulers × policies grid, one batch per pair.
+
+        Each (policy, scheduler) pair gets an independent child seed, so
+        adding or reordering pairs never changes another pair's runs.
+        """
+        pairs = [(policy, scheduler) for policy in policies for scheduler in schedulers]
+        children = np.random.SeedSequence(seed).spawn(len(pairs))
+        grid: Dict[Tuple[str, str], List[TrajectorySummary]] = {}
+        for (policy, scheduler), child in zip(pairs, children):
+            streams = child.spawn(2 * runs_per_pair)
+            seed_pairs = [
+                (streams[2 * i], streams[2 * i + 1]) for i in range(runs_per_pair)
+            ]
+            grid[(policy.name, scheduler.name)] = self._execute(
+                game, policy, scheduler, seed_pairs
+            )
+        return grid
+
+    # ------------------------------------------------------------------
+
+    def _mode(self, runs: int) -> str:
+        if self.executor != "auto":
+            return self.executor
+        cores = os.cpu_count() or 1
+        if runs >= _AUTO_PROCESS_THRESHOLD and cores >= 2:
+            return "process"
+        return "serial"
+
+    def _get_pool(self, mode: str, workers: int):
+        key = (mode, workers)
+        if self._pool is None or self._pool_key != key:
+            self.close()
+            pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+            self._pool = pool_cls(max_workers=workers)
+            self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the reused worker pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _execute(self, game, policy, scheduler, seed_pairs) -> List[TrajectorySummary]:
+        mode = self._mode(len(seed_pairs))
+        if mode == "serial":
+            return _run_chunk(
+                (game, policy, scheduler, self.backend, self.max_steps, 0, seed_pairs)
+            )
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, len(seed_pairs))
+        # One payload per worker: ship the game once per chunk, not per run.
+        chunks = []
+        chunk_size = -(-len(seed_pairs) // workers)
+        for start in range(0, len(seed_pairs), chunk_size):
+            chunks.append(
+                (
+                    game,
+                    policy,
+                    scheduler,
+                    self.backend,
+                    self.max_steps,
+                    start,
+                    seed_pairs[start : start + chunk_size],
+                )
+            )
+        try:
+            pool = self._get_pool(mode, workers)
+            results = list(pool.map(_run_chunk, chunks))
+        except (OSError, BrokenExecutor, PicklingError, AttributeError, TypeError) as error:
+            # Environment/transport failures (sandboxes without
+            # fork/semaphores; unpicklable custom strategies, which
+            # surface as PicklingError/AttributeError/TypeError from
+            # the pickler): the serial result is identical by
+            # construction, so degrade quietly. Exceptions raised
+            # *inside* a task (a buggy policy, a ConvergenceError)
+            # propagate — from the serial rerun if caught here.
+            self.close()
+            warnings.warn(
+                f"BatchRunner: {mode} executor unavailable ({error}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _run_chunk(
+                (game, policy, scheduler, self.backend, self.max_steps, 0, seed_pairs)
+            )
+        flat: List[TrajectorySummary] = []
+        for part in results:
+            flat.extend(part)
+        return flat
+
+
+def run_trajectory_batch(
+    game: Game,
+    *,
+    runs: int,
+    policy=None,
+    scheduler=None,
+    seed: Optional[int] = None,
+    backend: str = "fast",
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> List[TrajectorySummary]:
+    """Functional one-shot form of :meth:`BatchRunner.run`."""
+    with BatchRunner(
+        backend=backend,
+        executor=executor,
+        max_workers=max_workers,
+        max_steps=max_steps,
+    ) as runner:
+        return runner.run(game, runs=runs, policy=policy, scheduler=scheduler, seed=seed)

@@ -6,6 +6,18 @@ Theorem 1 guarantees termination for any scheduler × policy pair; the
 engine enforces a step budget anyway so a buggy custom policy (one that
 returns non-improving moves) cannot loop forever — and it *verifies*
 the improvement contract on every step.
+
+Two numeric backends execute the loop:
+
+``"fast"`` (default)
+    The :mod:`repro.kernel` integer fast path: powers and rewards are
+    normalized to common integer denominators once, then every payoff
+    comparison is an integer cross-multiplication. Decision-for-decision
+    (and RNG-draw-for-RNG-draw) identical to ``"exact"``; used whenever
+    the policy/scheduler pair has a kernel translation.
+``"exact"``
+    The original :class:`fractions.Fraction` loop. Kept for audits and
+    as the automatic fallback for custom policies or schedulers.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from typing import Optional
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.exceptions import ConvergenceError
+from repro.kernel import engine as kernel_engine
 from repro.learning.policies import BetterResponsePolicy, RandomImprovingPolicy
 from repro.learning.schedulers import ActivationScheduler, UniformRandomScheduler
 from repro.learning.trajectory import Step, Trajectory
@@ -44,13 +57,18 @@ class LearningEngine:
     record_configurations:
         Keep every intermediate configuration (needed by potential
         audits; costs memory on long runs).
+    backend:
+        ``"fast"`` (integer kernel, default) or ``"exact"``
+        (Fraction loop). The two produce identical trajectories; see
+        the module docstring.
     """
 
-    policy: BetterResponsePolicy = None  # type: ignore[assignment]
-    scheduler: ActivationScheduler = None  # type: ignore[assignment]
+    policy: Optional[BetterResponsePolicy] = None
+    scheduler: Optional[ActivationScheduler] = None
     max_steps: int = DEFAULT_MAX_STEPS
     record_configurations: bool = True
     raise_on_budget: bool = True
+    backend: str = "fast"
 
     def __post_init__(self) -> None:
         if self.policy is None:
@@ -59,6 +77,8 @@ class LearningEngine:
             self.scheduler = UniformRandomScheduler()
         if self.max_steps < 0:
             raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
+        if self.backend not in ("fast", "exact"):
+            raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
 
     def run(
         self,
@@ -75,7 +95,21 @@ class LearningEngine:
         """
         game.validate_configuration(initial)
         rng = make_rng(seed)
-        self.scheduler.reset()
+        policy = self.policy
+        scheduler = self.scheduler
+        assert policy is not None and scheduler is not None  # set in __post_init__
+        if self.backend == "fast" and kernel_engine.supports(policy, scheduler):
+            return kernel_engine.run_fast(
+                game,
+                initial,
+                policy=policy,
+                scheduler=scheduler,
+                rng=rng,
+                max_steps=self.max_steps,
+                record_configurations=self.record_configurations,
+                raise_on_budget=self.raise_on_budget,
+            )
+        scheduler.reset()
 
         trajectory = Trajectory(configurations=[initial])
         config = initial
@@ -87,8 +121,8 @@ class LearningEngine:
             if not unstable:
                 trajectory.converged = True
                 return trajectory
-            miner = self.scheduler.pick(game, config, unstable, rng)
-            target = self.policy.choose(game, config, miner, rng)
+            miner = scheduler.pick(game, config, unstable, rng)
+            target = policy.choose(game, config, miner, rng)
             if target is None:
                 raise ConvergenceError(
                     f"scheduler activated miner {miner.name!r} but the policy "
@@ -98,7 +132,7 @@ class LearningEngine:
             after = game.payoff_after_move(miner, target, config)
             if after <= before:
                 raise ConvergenceError(
-                    f"policy {self.policy.name!r} returned a non-improving move for "
+                    f"policy {policy.name!r} returned a non-improving move for "
                     f"{miner.name!r} ({before} → {after}); better-response contract violated"
                 )
             source = config.coin_of(miner)
@@ -138,6 +172,7 @@ def converge(
     scheduler: Optional[ActivationScheduler] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     seed: RngLike = None,
+    backend: str = "fast",
 ) -> Configuration:
     """Convenience wrapper: run learning and return only the final state."""
     engine = LearningEngine(
@@ -145,5 +180,6 @@ def converge(
         scheduler=scheduler,
         max_steps=max_steps,
         record_configurations=False,
+        backend=backend,
     )
     return engine.run(game, initial, seed=seed).final

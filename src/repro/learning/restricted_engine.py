@@ -9,13 +9,11 @@ idea (where to move) but consults the restriction for legal moves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
-import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.core.restricted import RestrictedGame
 from repro.exceptions import ConvergenceError
+from repro.kernel.engine import run_restricted_fast
 from repro.learning.trajectory import Step, Trajectory
 from repro.util.rng import RngLike, make_rng
 
@@ -31,16 +29,23 @@ class RestrictedLearningEngine:
     * ``"random"`` — uniformly random legal improving move,
     * ``"best"`` — legal payoff-maximizing move,
     * ``"minimal"`` — legal move with the smallest gain (adversarial).
+
+    ``backend="fast"`` (default) runs the :mod:`repro.kernel` integer
+    loop; ``"exact"`` keeps the Fraction loop. Both produce identical
+    trajectories for identical seeds.
     """
 
     mode: str = "random"
     max_steps: int = 1_000_000
+    backend: str = "fast"
 
     def __post_init__(self) -> None:
         if self.mode not in ("random", "best", "minimal"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.max_steps < 0:
             raise ValueError("max_steps must be non-negative")
+        if self.backend not in ("fast", "exact"):
+            raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
 
     def run(
         self,
@@ -52,6 +57,16 @@ class RestrictedLearningEngine:
         """Run legal better-response learning to a restricted equilibrium."""
         restricted.validate_configuration(initial)
         rng = make_rng(seed)
+        # Exact-type check: a subclass may override _select, which the
+        # kernel loop never calls — only the Fraction loop honors it.
+        if self.backend == "fast" and type(self) is RestrictedLearningEngine:
+            return run_restricted_fast(
+                restricted,
+                initial,
+                mode=self.mode,
+                rng=rng,
+                max_steps=self.max_steps,
+            )
         game = restricted.game
         trajectory = Trajectory(configurations=[initial])
         config = initial

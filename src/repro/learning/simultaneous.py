@@ -19,11 +19,14 @@ learning-in-games literature.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.core.game import Game
+from repro.kernel.core import KernelGame
 from repro.util.rng import RngLike, make_rng
 
 
@@ -57,6 +60,7 @@ def run_simultaneous(
     inertia: float = 0.0,
     max_rounds: int = 10_000,
     seed: RngLike = None,
+    backend: str = "fast",
 ) -> SimultaneousResult:
     """Synchronous best-response dynamic with optional inertia.
 
@@ -66,13 +70,23 @@ def run_simultaneous(
     Detection: convergence = a round with no movers; cycling = a
     configuration seen before (the dynamic is Markov for ``inertia=0``,
     so a repeat proves a permanent cycle).
+
+    ``backend="fast"`` (default) computes each round's best responses
+    with the :mod:`repro.kernel` integer arithmetic; ``"exact"`` keeps
+    the Fraction scan. Identical rounds, movers and verdicts either way.
     """
     if not 0.0 <= inertia < 1.0:
         raise ValueError(f"inertia must be in [0, 1), got {inertia}")
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be ≥ 1, got {max_rounds}")
+    if backend not in ("fast", "exact"):
+        raise ValueError(f"backend must be 'fast' or 'exact', got {backend!r}")
     game.validate_configuration(initial)
     rng = make_rng(seed)
+    if backend == "fast":
+        return _run_simultaneous_fast(
+            game, initial, inertia=inertia, max_rounds=max_rounds, rng=rng
+        )
 
     seen: Dict[Configuration, int] = {initial: 0}
     configurations = [initial]
@@ -109,6 +123,58 @@ def run_simultaneous(
     )
 
 
+def _run_simultaneous_fast(
+    game: Game,
+    initial: Configuration,
+    *,
+    inertia: float,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> SimultaneousResult:
+    """Integer-kernel twin of the synchronous dynamic's exact loop."""
+    kernel = KernelGame(game)
+    miners = game.miners
+    coins = game.coins
+    powers = kernel.powers
+    assign = kernel.assignment_of(initial)
+    mass = kernel.mass_of(assign)
+
+    seen: Dict[Configuration, int] = {initial: 0}
+    configurations = [initial]
+    for round_index in range(1, max_rounds + 1):
+        movers: List[Tuple[int, int]] = []
+        for i in range(kernel.n_miners):
+            target = kernel.best_response_idx(i, assign, mass)
+            if target is None:
+                continue
+            if inertia > 0.0 and rng.random() < inertia:
+                continue
+            movers.append((i, target))
+        if not movers:
+            return SimultaneousResult(
+                configurations=configurations, converged=True, cycle_start=None
+            )
+        for i, target in movers:
+            mass[assign[i]] -= powers[i]
+            mass[target] += powers[i]
+            assign[i] = target
+        config = Configuration(miners, [coins[j] for j in assign])
+        configurations.append(config)
+        if inertia == 0.0:
+            previous = seen.get(config)
+            if previous is not None:
+                return SimultaneousResult(
+                    configurations=configurations,
+                    converged=False,
+                    cycle_start=previous,
+                )
+            seen[config] = round_index
+    converged = not kernel.unstable(assign, mass)
+    return SimultaneousResult(
+        configurations=configurations, converged=converged, cycle_start=None
+    )
+
+
 def cycling_fraction(
     game: Game,
     *,
@@ -116,6 +182,7 @@ def cycling_fraction(
     inertia: float = 0.0,
     max_rounds: int = 500,
     seed: RngLike = None,
+    backend: str = "fast",
 ) -> float:
     """Fraction of random starts from which the synchronous dynamic cycles."""
     from repro.core.factories import random_configuration
@@ -125,7 +192,7 @@ def cycling_fraction(
     for _ in range(starts):
         start = random_configuration(game, seed=rng)
         result = run_simultaneous(
-            game, start, inertia=inertia, max_rounds=max_rounds, seed=rng
+            game, start, inertia=inertia, max_rounds=max_rounds, seed=rng, backend=backend
         )
         cycles += int(result.cycled or not result.converged)
     return cycles / starts

@@ -25,7 +25,7 @@ from repro.core.factories import random_configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
 from repro.learning.engine import LearningEngine
-from repro.util.rng import RngLike, make_rng, spawn_rngs
+from repro.util.rng import RngLike, spawn_rngs
 
 
 @dataclass(frozen=True)

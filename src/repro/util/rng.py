@@ -8,7 +8,7 @@ trajectory and simulation output.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 
