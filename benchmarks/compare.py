@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON artifacts and print per-bench speedups.
+
+Usage::
+
+    python benchmarks/compare.py old_bench.json new_bench.json
+
+For every benchmark present in both files, prints old/new mean runtime
+and the speedup ratio (old ÷ new — >1 means the new run is faster);
+benches present in only one file are listed separately. The table is
+meant to be pasted into PR descriptions, next to the CI ``bench.json``
+artifacts it consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def _load(path: str) -> Dict[str, float]:
+    """benchmark fullname → mean seconds."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        bench["fullname"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
+    }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline bench.json (e.g. from main)")
+    parser.add_argument("new", help="candidate bench.json (e.g. from the PR)")
+    args = parser.parse_args(argv)
+
+    old = _load(args.old)
+    new = _load(args.new)
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 1
+
+    name_width = max(len(name) for name in shared)
+    print(f"{'benchmark'.ljust(name_width)}  {'old':>10}  {'new':>10}  {'speedup':>8}")
+    print(f"{'-' * name_width}  {'-' * 10}  {'-' * 10}  {'-' * 8}")
+    for name in shared:
+        ratio = old[name] / new[name] if new[name] else float("inf")
+        print(
+            f"{name.ljust(name_width)}  {_fmt_seconds(old[name]):>10}  "
+            f"{_fmt_seconds(new[name]):>10}  {ratio:>7.2f}×"
+        )
+    for label, names in (("only in old", set(old) - set(new)), ("only in new", set(new) - set(old))):
+        for name in sorted(names):
+            print(f"{label}: {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

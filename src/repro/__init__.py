@@ -48,6 +48,26 @@ experiment runners). Per-run RNG streams are spawned up front from one
 root seed, so serial, threaded and multi-process batches all return
 identical results.
 
+Exact enumeration
+~~~~~~~~~~~~~~~~~
+The exact analyses — ``enumerate_equilibria``,
+``analyze_improvement_dag`` (Theorem 1's acyclicity, the exact longest
+improving path, sinks), ``reachable_equilibria`` and the Proposition 1
+refuter ``find_nonzero_four_cycle`` — default to ``backend="space"``:
+:class:`repro.kernel.space.ConfigSpace` represents each configuration
+as a base-``|C|`` integer code, walks the space in Gray-code order
+(one miner changes coin per step, so the integer mass vector updates
+in O(1) per node), answers every query through the kernel's integer
+cross-multiplication, and enumerates only canonical equal-power orbit
+representatives when the game has interchangeable miners (a
+12-equal-miner × 3-coin game shrinks from 531,441 configurations to
+91 orbits). Results — content and order, after orbit expansion — are
+bit-for-bit those of ``backend="exact"``, the Fraction brute force,
+which ``tests/test_space_parity.py`` asserts on ~100 games. Measured:
+the seed-size Theorem 1 workload (six 5×2 games) runs ~55× faster
+(176 ms → 3.2 ms), a 12×2 game ~440× (13.4 s → 0.03 s); practical
+scan limits rose from 100k Fraction nodes to 2M integer-code nodes.
+
 To check a working tree locally the way CI does::
 
     PYTHONPATH=src python -m pytest -x -q          # tier-1 tests
@@ -60,7 +80,9 @@ Subpackages
     Miners, coins, configurations, the game, potentials, equilibria,
     assumption checkers (paper Sections 2–4, Appendices A–B).
 ``repro.kernel``
-    The exact integer fast path behind ``backend="fast"`` and the
+    The exact integer fast path behind ``backend="fast"``, the
+    :class:`~repro.kernel.space.ConfigSpace` enumeration engine behind
+    ``backend="space"``, and the
     :class:`~repro.kernel.batch.BatchRunner` for parallel trajectory
     batches.
 ``repro.learning``
@@ -80,7 +102,8 @@ Subpackages
     strategic switching at block granularity.
 ``repro.analysis``
     Welfare (Observation 3), price of anarchy/stability, convergence
-    statistics, 51%-security metrics.
+    statistics, exact improvement-DAG analysis, basins of attraction,
+    51%-security metrics.
 ``repro.experiments``
     The E1–E10 experiment runners behind ``benchmarks/``.
 """

@@ -12,6 +12,8 @@ from repro.analysis.convergence import (
     measure_convergence,
 )
 from repro.analysis.paths import (
+    DagAnalysis,
+    analyze_improvement_dag,
     improvement_graph,
     is_acyclic,
     longest_improvement_path,
@@ -49,6 +51,8 @@ __all__ = [
     "ConvergenceStats",
     "convergence_sweep",
     "measure_convergence",
+    "DagAnalysis",
+    "analyze_improvement_dag",
     "improvement_graph",
     "is_acyclic",
     "longest_improvement_path",

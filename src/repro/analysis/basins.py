@@ -31,24 +31,39 @@ from repro.util.rng import RngLike, spawn_rngs
 
 @dataclass(frozen=True)
 class BasinProfile:
-    """Landing frequencies of equilibria from random starts."""
+    """Landing distribution of equilibria from random starts.
 
-    #: equilibrium → fraction of starts that converged to it.
-    frequencies: Dict[Configuration, float]
+    The raw integer landing counts are the source of truth; float
+    frequencies are derived views, so exact consumers (the manipulation
+    planner's luck baseline) never round-trip through floats.
+    """
+
+    #: equilibrium → number of starts that converged to it.
+    counts: Dict[Configuration, int]
     samples: int
 
     @property
+    def frequencies(self) -> Dict[Configuration, float]:
+        """equilibrium → fraction of starts that converged to it."""
+        return {config: count / self.samples for config, count in self.counts.items()}
+
+    @property
     def distinct_equilibria(self) -> int:
-        return len(self.frequencies)
+        return len(self.counts)
+
+    def count_of(self, equilibrium: Configuration) -> int:
+        """Number of starts that landed on *equilibrium* (0 if unseen)."""
+        return self.counts.get(equilibrium, 0)
 
     def probability_of(self, equilibrium: Configuration) -> float:
         """Empirical probability of landing on *equilibrium* (0 if unseen)."""
-        return self.frequencies.get(equilibrium, 0.0)
+        count = self.counts.get(equilibrium, 0)
+        return count / self.samples if count else 0.0
 
     def dominant(self) -> Tuple[Configuration, float]:
         """The most likely equilibrium and its frequency."""
-        equilibrium = max(self.frequencies, key=lambda c: self.frequencies[c])
-        return equilibrium, self.frequencies[equilibrium]
+        equilibrium = max(self.counts, key=lambda c: self.counts[c])
+        return equilibrium, self.counts[equilibrium] / self.samples
 
     def entropy(self) -> float:
         """Shannon entropy (bits) of the landing distribution.
@@ -58,8 +73,11 @@ class BasinProfile:
         """
         import math
 
+        samples = self.samples
         return -sum(
-            p * math.log2(p) for p in self.frequencies.values() if p > 0
+            (count / samples) * math.log2(count / samples)
+            for count in self.counts.values()
+            if count > 0
         )
 
 
@@ -81,10 +99,7 @@ def basin_profile(
         start = random_configuration(game, seed=rngs[2 * index])
         final = engine.run(game, start, seed=rngs[2 * index + 1]).final
         counts[final] = counts.get(final, 0) + 1
-    return BasinProfile(
-        frequencies={config: count / samples for config, count in counts.items()},
-        samples=samples,
-    )
+    return BasinProfile(counts=counts, samples=samples)
 
 
 def basin_by_policy(
@@ -111,12 +126,12 @@ def expected_payoff_from_luck(
 
     The baseline a rational manipulator compares the design mechanism
     against: do nothing and take the basin-weighted average payoff.
+    Exact: the weights are the profile's raw integer landing counts
+    over its sample total, not float frequencies.
     """
     from fractions import Fraction
 
     total = Fraction(0)
-    for equilibrium, frequency in profile.frequencies.items():
-        total += game.payoff(miner, equilibrium) * Fraction(frequency).limit_denominator(
-            10**9
-        )
+    for equilibrium, count in profile.counts.items():
+        total += game.payoff(miner, equilibrium) * Fraction(count, profile.samples)
     return total

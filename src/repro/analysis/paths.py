@@ -2,26 +2,35 @@
 
 Theorem 1 is equivalent to a graph statement: the *improvement graph* —
 configurations as nodes, better-response steps as edges — is acyclic,
-and its sinks are exactly the pure equilibria. For small games this
-module materializes that graph and extracts exact quantities no
-sampling can give:
+and its sinks are exactly the pure equilibria. This module extracts the
+exact quantities no sampling can give:
 
-* :func:`improvement_graph` — the full directed graph,
-* :func:`is_acyclic` — Theorem 1, decided exactly,
-* :func:`longest_improvement_path` — the *worst-case* number of
-  better-response steps any learning process can ever take (the tight
-  version of E2's empirical step counts),
-* :func:`sink_configurations` — equilibria as graph sinks (must agree
-  with :func:`repro.core.equilibrium.enumerate_equilibria`),
+* :func:`analyze_improvement_dag` — one pass over the whole space:
+  acyclicity (Theorem 1), the exact longest improving path (the tight
+  worst case over every scheduler, policy and start), and all sinks.
+  The default ``backend="space"`` runs on
+  :class:`repro.kernel.space.ConfigSpace` — integer configuration
+  codes walked in Gray-code order with O(1) mass updates, flat
+  successor arrays, iterative DFS, and equal-power symmetry reduction
+  — which raises the practical size frontier by orders of magnitude
+  over the Fraction brute force (kept as ``backend="exact"``).
 * :func:`reachable_equilibria` — which equilibria a given start can
-  end at (the exact version of basin analysis).
+  end at (the exact version of basin analysis), also int-code based by
+  default.
+* :func:`improvement_graph` / :func:`is_acyclic` /
+  :func:`longest_improvement_path` / :func:`sink_configurations` — the
+  original Configuration-keyed graph API, used by the ``exact``
+  backend and the parity suite.
 
-Everything here is exponential in ``n`` and guarded accordingly.
+Everything here is exponential in ``n`` and guarded accordingly; the
+space backend's guard counts *scanned* nodes, i.e. symmetry orbits when
+reduction applies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.configuration import Configuration
 from repro.core.game import Game
@@ -30,14 +39,90 @@ from repro.exceptions import InvalidModelError
 #: Adjacency: configuration → better-response successors.
 ImprovementGraph = Dict[Configuration, Tuple[Configuration, ...]]
 
+#: Node cap for the Fraction (Configuration-object) graph.
 _DEFAULT_LIMIT = 100_000
+
+#: Node cap for the integer-code space backend — two orders of
+#: magnitude more headroom; at this size the full analysis still runs
+#: in well under a minute (~2M nodes ≈ 21 miners × 2 coins).
+_SPACE_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class DagAnalysis:
+    """Exact improvement-DAG facts for one game.
+
+    ``longest_path`` is ``None`` only when ``acyclic`` is ``False``
+    (which Theorem 1 forbids and would indicate a payoff-model bug).
+    ``sinks`` always lists *all* pure equilibria, in the enumeration
+    (product) order, with symmetry orbits expanded.
+    """
+
+    acyclic: bool
+    longest_path: Optional[int]
+    sinks: Tuple[Configuration, ...]
+    nodes_scanned: int
+    total_configurations: int
+    symmetry_reduced: bool
+
+
+def analyze_improvement_dag(
+    game: Game,
+    *,
+    limit: int = _SPACE_LIMIT,
+    backend: str = "space",
+    symmetry: bool = True,
+) -> DagAnalysis:
+    """Acyclicity, exact longest path and all sinks, in one pass.
+
+    With ``backend="space"`` the scan runs at the integer-code level
+    (no Configuration or Fraction per node); when ``symmetry`` is on
+    and the game has equal-power miners, only canonical orbit
+    representatives are scanned and ``limit`` guards that (much
+    smaller) count. ``backend="exact"`` materializes the
+    Configuration-keyed graph — same answers, for audits and parity.
+    """
+    if backend == "exact":
+        graph = improvement_graph(game, limit=limit)
+        acyclic = is_acyclic(graph)
+        return DagAnalysis(
+            acyclic=acyclic,
+            longest_path=longest_improvement_path(graph) if acyclic else None,
+            sinks=tuple(sink_configurations(graph)),
+            nodes_scanned=len(graph),
+            total_configurations=game.configuration_count(),
+            symmetry_reduced=False,
+        )
+    if backend != "space":
+        raise InvalidModelError(
+            f"unknown DAG backend {backend!r}; expected 'space' or 'exact'"
+        )
+    from repro.kernel.space import ConfigSpace
+
+    space = ConfigSpace(game, symmetry=symmetry)
+    scanned = space.orbit_count() if space.symmetry else space.size
+    if scanned > limit:
+        raise InvalidModelError(
+            f"improvement DAG has {scanned} nodes to scan, above the limit {limit}"
+        )
+    report = space.dag_report(max_sinks=limit)
+    return DagAnalysis(
+        acyclic=report.acyclic,
+        longest_path=report.longest_path,
+        sinks=tuple(space.config_of(code) for code in report.sink_codes),
+        nodes_scanned=report.nodes_scanned,
+        total_configurations=report.total_configurations,
+        symmetry_reduced=report.symmetry_reduced,
+    )
 
 
 def improvement_graph(game: Game, *, limit: int = _DEFAULT_LIMIT) -> ImprovementGraph:
-    """The full better-response graph of *game*.
+    """The full better-response graph of *game*, Configuration-keyed.
 
     Raises :class:`InvalidModelError` when the configuration space
-    exceeds *limit* (the graph has ``|C|^n`` nodes).
+    exceeds *limit* (the graph has ``|C|^n`` nodes). This is the
+    Fraction path; scans that only need the derived quantities should
+    use :func:`analyze_improvement_dag` instead.
     """
     count = game.configuration_count()
     if count > limit:
@@ -101,13 +186,13 @@ def longest_improvement_path(graph: ImprovementGraph) -> int:
             "improvement graph is cyclic; this contradicts Theorem 1 and "
             "indicates a payoff-model bug"
         )
+    # One pass over all nodes fills the memo (iterative post-order — a
+    # node is finalized only once every successor has an entry); the
+    # answer is the maximum entry.
     memo: Dict[Configuration, int] = {}
-
-    def depth(node: Configuration) -> int:
+    for node in graph:
         if node in memo:
-            return memo[node]
-        # Iterative post-order (avoids recursion limits on long chains):
-        # a node is finalized only once every successor has a memo entry.
+            continue
         stack = [node]
         while stack:
             current = stack[-1]
@@ -122,24 +207,41 @@ def longest_improvement_path(graph: ImprovementGraph) -> int:
                     (1 + memo[child] for child in graph[current]), default=0
                 )
                 stack.pop()
-        return memo[node]
-
-    return max(depth(node) for node in graph) if graph else 0
+    return max(memo.values()) if memo else 0
 
 
 def reachable_equilibria(
     game: Game,
     start: Configuration,
     *,
-    limit: int = _DEFAULT_LIMIT,
+    limit: int = _SPACE_LIMIT,
+    backend: str = "space",
 ) -> List[Configuration]:
     """All equilibria some improving path from *start* can reach.
 
     The exact counterpart of :func:`repro.analysis.basins.basin_profile`
-    (which samples one path per start). BFS over the improvement graph
-    restricted to nodes reachable from *start*.
+    (which samples one path per start). DFS over better-response
+    successors restricted to nodes reachable from *start*; the space
+    backend runs it over integer codes with the identical traversal
+    order, so results — including list order — match the Fraction path.
     """
     count = game.configuration_count()
+    if backend == "space":
+        if count > limit:
+            raise InvalidModelError(
+                f"reachability needs the improvement DAG ({count} nodes > {limit})"
+            )
+        from repro.kernel.space import ConfigSpace
+
+        space = ConfigSpace(game, symmetry=False)
+        return [
+            space.config_of(code)
+            for code in space.reachable_sink_codes(space.code_of(start))
+        ]
+    if backend != "exact":
+        raise InvalidModelError(
+            f"unknown reachability backend {backend!r}; expected 'space' or 'exact'"
+        )
     if count > limit:
         raise InvalidModelError(
             f"reachability needs the improvement graph ({count} nodes > {limit})"

@@ -75,28 +75,77 @@ def greedy_equilibrium(game: Game) -> Configuration:
     return Configuration.from_mapping(game.miners, assignment)
 
 
-def enumerate_equilibria(game: Game, *, limit: Optional[int] = None) -> List[Configuration]:
+def enumerate_equilibria(
+    game: Game,
+    *,
+    limit: Optional[int] = None,
+    backend: str = "space",
+    symmetry: bool = True,
+) -> List[Configuration]:
     """All pure equilibria of the game, by exhaustive search.
 
     ``limit`` caps the number of *configurations scanned* (not
     equilibria found) as a safety valve; exceeding it raises
     :class:`InvalidModelError` so callers never silently get a partial
     answer.
+
+    ``backend="space"`` (the default) scans integer configuration codes
+    through :class:`repro.kernel.space.ConfigSpace` — a Gray-code walk
+    with O(1) mass updates and integer stability checks, plus
+    equal-power symmetry reduction (one canonical representative per
+    orbit, expanded afterwards) when ``symmetry`` is on and the game
+    has interchangeable miners. When symmetry reduction applies, the
+    scan count the ``limit`` guards is the *orbit* count, so symmetric
+    games far beyond ``|C|^n ≤ limit`` stay enumerable. The result —
+    content and order — is identical to ``backend="exact"``, the
+    original Fraction brute force over Configuration objects.
     """
-    count = game.configuration_count()
-    if limit is not None and count > limit:
+    if backend == "exact":
+        count = game.configuration_count()
+        if limit is not None and count > limit:
+            raise InvalidModelError(
+                f"game has {count} configurations, above the scan limit {limit}; "
+                "enumeration is only for small games"
+            )
+        return [config for config in game.all_configurations() if game.is_stable(config)]
+    if backend != "space":
         raise InvalidModelError(
-            f"game has {count} configurations, above the scan limit {limit}; "
-            "enumeration is only for small games"
+            f"unknown enumeration backend {backend!r}; expected 'space' or 'exact'"
         )
-    return [config for config in game.all_configurations() if game.is_stable(config)]
+    from repro.kernel.space import ConfigSpace
+
+    space = ConfigSpace(game, symmetry=symmetry)
+    scanned = space.orbit_count() if space.symmetry else space.size
+    if limit is not None and scanned > limit:
+        raise InvalidModelError(
+            f"game has {scanned} configurations to scan, above the scan limit "
+            f"{limit}; enumeration is only for small games"
+        )
+    # The limit also caps the orbit-expanded result: a symmetric game
+    # can have few orbits but combinatorially many equilibria.
+    return space.equilibria(max_codes=limit)
 
 
-def iter_equilibria(game: Game) -> Iterator[Configuration]:
-    """Lazily iterate pure equilibria (exhaustive scan order)."""
-    for config in game.all_configurations():
-        if game.is_stable(config):
-            yield config
+def iter_equilibria(game: Game, *, backend: str = "space") -> Iterator[Configuration]:
+    """Lazily iterate pure equilibria (exhaustive scan order).
+
+    The default ``backend="space"`` walks integer codes in the same
+    product order as the Fraction scan (``backend="exact"``) but with
+    incremental integer mass updates, yielding identical configurations
+    in identical order with none of the per-node allocation.
+    """
+    if backend == "exact":
+        for config in game.all_configurations():
+            if game.is_stable(config):
+                yield config
+        return
+    if backend != "space":
+        raise InvalidModelError(
+            f"unknown enumeration backend {backend!r}; expected 'space' or 'exact'"
+        )
+    from repro.kernel.space import ConfigSpace
+
+    yield from ConfigSpace(game, symmetry=False).iter_equilibria()
 
 
 def two_distinct_equilibria(game: Game) -> Tuple[Configuration, Configuration]:

@@ -164,13 +164,40 @@ def exact_potential_cycle_defect(
 
 def find_nonzero_four_cycle(
     game: Game,
+    *,
+    backend: str = "space",
 ) -> Optional[Tuple[Configuration, Miner, Coin, Miner, Coin, Fraction]]:
     """Search all 4-cycles for one with nonzero defect (small games only).
 
     Returns the witness tuple ``(start, miner_a, coin_a, miner_b,
     coin_b, defect)`` or ``None`` if every cycle closes — i.e. the game
     *does* admit an exact potential (e.g. single-miner games).
+
+    ``backend="space"`` (the default) scans integer configuration codes
+    with incrementally maintained masses and tests each cycle's defect
+    by integer arithmetic over one common denominator (zeroness is
+    invariant under the kernel's power/reward scaling); the witness —
+    the *first* nonzero cycle in the seed's scan order — is then
+    materialized and its exact Fraction defect recomputed at the
+    boundary, so the result is identical to ``backend="exact"``.
     """
+    if backend == "space":
+        from repro.kernel.space import ConfigSpace
+
+        space = ConfigSpace(game, symmetry=False)
+        witness = space.four_cycle_witness()
+        if witness is None:
+            return None
+        code, a, ja, b, jb = witness
+        start = space.config_of(code)
+        miner_a, miner_b = game.miners[a], game.miners[b]
+        coin_a, coin_b = game.coins[ja], game.coins[jb]
+        defect = exact_potential_cycle_defect(game, start, miner_a, coin_a, miner_b, coin_b)
+        return (start, miner_a, coin_a, miner_b, coin_b, defect)
+    if backend != "exact":
+        raise InvalidModelError(
+            f"unknown search backend {backend!r}; expected 'space' or 'exact'"
+        )
     miners = game.miners
     for start in game.all_configurations():
         for miner_a, miner_b in itertools.combinations(miners, 2):

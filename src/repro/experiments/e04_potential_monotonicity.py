@@ -3,14 +3,18 @@
 Records full trajectories across random games and audits every single
 better-response step against ``rank(list(s))`` — the paper's ordinal
 potential — plus Observations 1 and 2 (the local RPU facts the proof
-rests on). A perfect audit is the computational proof-of-theorem; any
-violation would print as a failure row.
+rests on). On top of the sampled trajectories, an *exhaustive* tier
+audits every edge of the full improvement DAG for small games via the
+integer-code enumeration engine (:mod:`repro.kernel.space`) — the
+complete computational proof-of-theorem, not just the visited slice.
+Any violation would print as a failure row.
 """
 
 from __future__ import annotations
 
 
 from repro.core.factories import random_configuration, random_game
+from repro.kernel.space import ConfigSpace
 from repro.core.potential import compare_potential, rpu_list
 from repro.experiments.common import ExperimentResult
 from repro.learning.engine import LearningEngine
@@ -43,6 +47,28 @@ def _audit_observations(game, trajectory) -> int:
     return violations
 
 
+def _audit_all_edges(game) -> tuple:
+    """(edges audited, violations) over the *entire* improvement DAG.
+
+    Walks every configuration at the integer-code level and checks
+    ``H(s) < H(s')`` on every better-response edge; Configurations are
+    materialized only to evaluate the Fraction potential comparator.
+    """
+    space = ConfigSpace(game, symmetry=False)
+    edges = 0
+    violations = 0
+    for code, assign, mass in space.iter_gray():
+        successors = space.successor_codes(code, assign, mass)
+        if not successors:
+            continue
+        before = space.config_of(code)
+        for child in successors:
+            edges += 1
+            if compare_potential(game, before, space.config_of(child)) >= 0:
+                violations += 1
+    return edges, violations
+
+
 def run(
     *,
     games: int = 10,
@@ -50,8 +76,14 @@ def run(
     coins: int = 4,
     starts_per_game: int = 3,
     seed: int = 0,
+    exact_games: int = 3,
+    exact_miners: int = 5,
+    exact_coins: int = 2,
 ) -> ExperimentResult:
-    """Audit potential monotonicity and Observations 1–2 on live paths."""
+    """Audit potential monotonicity and Observations 1–2 on live paths.
+
+    ``exact_games`` additionally audits *every* DAG edge of that many
+    small games exhaustively (set it to 0 to skip)."""
     policies = (RandomImprovingPolicy(), MinimalGainPolicy())
     table = Table(
         "E4 — ordinal potential audit (Theorem 1, Observations 1–2)",
@@ -90,6 +122,22 @@ def run(
             total_steps += steps
             total_increases += increases
             total_violations += violations
+
+    exact_edges = 0
+    exact_edge_violations = 0
+    for exact_index in range(exact_games):
+        game = random_game(exact_miners, exact_coins, seed=1000 + seed * 97 + exact_index)
+        edges, edge_violations = _audit_all_edges(game)
+        exact_edges += edges
+        exact_edge_violations += edge_violations
+        table.add_row(
+            f"exact #{exact_index} ({exact_miners}×{exact_coins})",
+            "every DAG edge",
+            edges,
+            edges - edge_violations,
+            edge_violations,
+        )
+
     return ExperimentResult(
         experiment="E4",
         table=table,
@@ -99,5 +147,7 @@ def run(
                 total_increases / total_steps if total_steps else 1.0
             ),
             "observation_violations": total_violations,
+            "exact_edges_audited": exact_edges,
+            "exact_edge_violations": exact_edge_violations,
         },
     )

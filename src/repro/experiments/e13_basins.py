@@ -39,6 +39,7 @@ def run(
             "game",
             "equilibria",
             "basins reached",
+            "dominant landings",
             "entropy (bits)",
             "entropy spread by policy",
             "planner: worth buying?",
@@ -89,10 +90,12 @@ def run(
                 )
             else:
                 verdict = "no gain available"
+        dominant_eq, _ = profile.dominant()
         table.add_row(
             f"#{index}",
             len(equilibria),
             profile.distinct_equilibria,
+            f"{profile.count_of(dominant_eq)}/{profile.samples}",
             profile.entropy(),
             f"{min(entropies):.2f}–{max(entropies):.2f}",
             verdict,

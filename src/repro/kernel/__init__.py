@@ -9,6 +9,12 @@ The kernel is the performance seam of the library:
   with none of its per-comparison allocation.
 * :mod:`repro.kernel.engine` hosts the fast trajectory loops used by
   the learning engines when ``backend="fast"`` (the default).
+* :class:`~repro.kernel.space.ConfigSpace` is the exact *enumeration*
+  engine: base-``|C|`` integer configuration codes, Gray-code walks
+  with O(1) mass updates, equal-power symmetry reduction, and flat
+  successor arrays for the Theorem 1 DAG analyses — the backbone of
+  ``enumerate_equilibria``, ``analyze_improvement_dag`` and the
+  Proposition 1 refuter at ``backend="space"`` (their default).
 * :class:`~repro.kernel.batch.BatchRunner` fans independent
   trajectories (seeds × schedulers × policies) out over
   :mod:`concurrent.futures` workers with per-run RNG streams spawned
@@ -18,9 +24,12 @@ The kernel is the performance seam of the library:
 from repro.kernel.batch import BatchRunner, TrajectorySummary, run_trajectory_batch
 from repro.kernel.core import KernelGame
 from repro.kernel.engine import run_fast, run_restricted_fast, supports
+from repro.kernel.space import ConfigSpace, DagReport
 
 __all__ = [
     "BatchRunner",
+    "ConfigSpace",
+    "DagReport",
     "KernelGame",
     "TrajectorySummary",
     "run_fast",

@@ -28,6 +28,37 @@ class TestBasinProfile:
         profile = basin_profile(game, samples=30, seed=0)
         assert sum(profile.frequencies.values()) == pytest.approx(1.0)
 
+    def test_counts_are_raw_integers_summing_to_samples(self):
+        game, _ = _multi_equilibrium_game()
+        profile = basin_profile(game, samples=30, seed=0)
+        assert all(isinstance(count, int) for count in profile.counts.values())
+        assert sum(profile.counts.values()) == profile.samples == 30
+
+    def test_exact_luck_baseline_from_counts(self):
+        from fractions import Fraction
+
+        from repro.analysis.basins import expected_payoff_from_luck
+
+        game, _ = _multi_equilibrium_game()
+        profile = basin_profile(game, samples=30, seed=0)
+        miner = game.miners[0]
+        expected = sum(
+            (
+                game.payoff(miner, eq) * Fraction(count, profile.samples)
+                for eq, count in profile.counts.items()
+            ),
+            Fraction(0),
+        )
+        assert expected_payoff_from_luck(game, miner, profile) == expected
+
+    def test_probability_of_empty_profile_is_zero(self):
+        from repro.analysis.basins import BasinProfile
+
+        game, _ = _multi_equilibrium_game()
+        empty = BasinProfile(counts={}, samples=0)
+        some_config = next(iter(game.all_configurations()))
+        assert empty.probability_of(some_config) == 0.0
+
     def test_landing_points_are_equilibria(self):
         game, _ = _multi_equilibrium_game()
         profile = basin_profile(game, samples=20, seed=1)
