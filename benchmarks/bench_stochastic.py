@@ -1,0 +1,66 @@
+"""Benchmarks for the stochastic realization layer (E15/E16 + sampler).
+
+Part of the CI smoke set: the lottery-sampler micro-benchmark guards
+the hot path every noisy decision runs through, and the two experiment
+benches guard the end-to-end cost of the new workload.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.factories import random_configuration, random_game
+from repro.experiments import e15_noisy_convergence, e16_risk
+from repro.stochastic.lottery import sample_block_wins
+
+
+def test_lottery_sampler_throughput(benchmark):
+    """200k sampled block races (20 rounds × 10k-round lotteries)."""
+    game = random_game(10, 3, seed=0)
+    config = random_configuration(game, seed=1)
+
+    def sweep():
+        total = 0
+        for index in range(20):
+            sample = sample_block_wins(game, config, rounds=10_000, seed=index)
+            total += sum(sample.wins)
+        return total
+
+    total = benchmark.pedantic(sweep, iterations=1, rounds=3)
+    # Every round races every occupied coin exactly once.
+    occupied = len(config.occupied_coins())
+    assert total == 20 * 10_000 * occupied
+
+
+def test_e15_noisy_convergence(benchmark, show):
+    result = run_once(
+        benchmark,
+        e15_noisy_convergence.run,
+        games=1,
+        miners=5,
+        coins=2,
+        budgets=(1, 16, 128),
+        replications=12,
+        max_activations=1_500,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["monotone_fraction"] == 1.0
+    assert (
+        result.metrics["misconvergence_at_max_budget"]
+        <= result.metrics["misconvergence_at_min_budget"]
+    )
+
+
+def test_e16_risk(benchmark, show):
+    result = run_once(
+        benchmark,
+        e16_risk.run,
+        miners=5,
+        coins=2,
+        horizon_rounds=400,
+        replications=12,
+        reconcile_horizon_h=120.0,
+        seed=0,
+    )
+    show(result.table)
+    assert result.metrics["max_relative_bias_at_equilibrium"] < 0.2
+    assert result.metrics["chain_reconciliation_deviation"] < 0.1
+    assert result.metrics["lottery_reconciliation_deviation"] < 0.1

@@ -68,6 +68,24 @@ the seed-size Theorem 1 workload (six 5×2 games) runs ~55× faster
 (176 ms → 3.2 ms), a 12×2 game ~440× (13.4 s → 0.03 s); practical
 scan limits rose from 100k Fraction nodes to 2M integer-code nodes.
 
+Stochastic realization
+~~~~~~~~~~~~~~~~~~~~~~
+Everything above works on *expected* payoffs; :mod:`repro.stochastic`
+realizes the randomness they integrate over. An exact-rational block
+lottery (integer cumulative thresholds, no float in any win decision)
+turns a configuration into sampled per-miner rewards;
+:class:`~repro.stochastic.noisy_engine.NoisyLearningEngine` runs
+better-response learning on *estimated* payoffs with a pluggable
+per-decision sample budget, and the risk layer measures what the
+expectation hides — reward variance (closed form and sampled),
+ruin-style tail probabilities, time-to-equilibrium distributions, and
+the misconvergence rate of noisy learning against the exact
+ConfigSpace equilibrium set. Fixed-seed noisy batches are bit-identical
+across serial, threaded and multi-process execution
+(:class:`~repro.stochastic.noisy_engine.NoisyBatchRunner`), and a
+chainsim bridge reconciles the lottery with the event-driven PoW
+simulator. E15/E16 report the headline numbers.
+
 To check a working tree locally the way CI does::
 
     PYTHONPATH=src python -m pytest -x -q          # tier-1 tests
@@ -103,9 +121,14 @@ Subpackages
 ``repro.analysis``
     Welfare (Observation 3), price of anarchy/stability, convergence
     statistics, exact improvement-DAG analysis, basins of attraction,
-    51%-security metrics.
+    51%-security metrics, and the sampled-side risk re-exports.
+``repro.stochastic``
+    The Monte Carlo realization layer: exact-rational block lotteries,
+    payoff estimators with confidence intervals, the noisy
+    better-response engine + batch runner, risk/misconvergence
+    analysis, and the chainsim bridge.
 ``repro.experiments``
-    The E1–E10 experiment runners behind ``benchmarks/``.
+    The E1–E16 experiment runners behind ``benchmarks/``.
 """
 
 from repro.core import (
@@ -148,8 +171,18 @@ from repro.learning import (
     converge,
 )
 from repro.manipulation import find_better_equilibrium_exhaustive, manipulation_roi
+from repro.stochastic import (
+    NoisyBatchRunner,
+    NoisyLearningEngine,
+    NoisyRunResult,
+    estimate_payoffs,
+    misconvergence_profile,
+    reward_risk,
+    run_noisy_batch,
+    sample_block_wins,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Coin",
@@ -191,5 +224,13 @@ __all__ = [
     "converge",
     "find_better_equilibrium_exhaustive",
     "manipulation_roi",
+    "NoisyBatchRunner",
+    "NoisyLearningEngine",
+    "NoisyRunResult",
+    "estimate_payoffs",
+    "misconvergence_profile",
+    "reward_risk",
+    "run_noisy_batch",
+    "sample_block_wins",
     "__version__",
 ]

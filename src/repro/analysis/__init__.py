@@ -1,4 +1,10 @@
-"""Analysis tools: welfare, efficiency, convergence stats, security metrics."""
+"""Analysis tools: welfare, efficiency, convergence stats, security, risk.
+
+The risk names re-exported here live in :mod:`repro.stochastic.risk`;
+they are surfaced alongside the exact analyses because they answer the
+same kind of question (what does learning/equilibrium look like?) from
+the sampled side.
+"""
 
 from repro.analysis.basins import (
     BasinProfile,
@@ -42,6 +48,17 @@ from repro.analysis.welfare import (
     verifies_observation3,
     welfare_gap,
 )
+from repro.stochastic.risk import (
+    BudgetOutcome,
+    MinerRisk,
+    MisconvergenceReport,
+    RiskProfile,
+    misconvergence_profile,
+    per_round_variance,
+    reward_risk,
+    ruin_bound,
+    time_to_equilibrium,
+)
 
 __all__ = [
     "BasinProfile",
@@ -74,4 +91,13 @@ __all__ = [
     "social_welfare",
     "verifies_observation3",
     "welfare_gap",
+    "BudgetOutcome",
+    "MinerRisk",
+    "MisconvergenceReport",
+    "RiskProfile",
+    "misconvergence_profile",
+    "per_round_variance",
+    "reward_risk",
+    "ruin_bound",
+    "time_to_equilibrium",
 ]

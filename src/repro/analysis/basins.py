@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.core.configuration import Configuration
 from repro.core.factories import random_configuration
 from repro.core.game import Game
+from repro.kernel.batch import BatchRunner
 from repro.learning.engine import LearningEngine
 from repro.learning.policies import BetterResponsePolicy
 from repro.util.rng import RngLike, spawn_rngs
@@ -88,13 +89,37 @@ def basin_profile(
     policy: Optional[BetterResponsePolicy] = None,
     seed: RngLike = None,
     backend: str = "fast",
+    runner: Optional[BatchRunner] = None,
 ) -> BasinProfile:
-    """Estimate the landing distribution from uniform random starts."""
+    """Estimate the landing distribution from uniform random starts.
+
+    Passing a :class:`~repro.kernel.batch.BatchRunner` as *runner*
+    executes the sample trajectories through it (possibly across worker
+    processes); its seeding scheme matches the serial loop — stream
+    ``2i`` draws start *i*, stream ``2i+1`` drives its engine — so the
+    counts are identical either way.
+    """
     if samples < 1:
         raise ValueError(f"samples must be ≥ 1, got {samples}")
+    counts: Dict[Configuration, int] = {}
+    if runner is not None:
+        if runner.backend != backend:
+            raise ValueError(
+                f"backend={backend!r} conflicts with runner.backend="
+                f"{runner.backend!r}; configure the backend on one of them"
+            )
+        summaries = runner.run(
+            game,
+            runs=samples,
+            policy=policy,
+            seed=seed if isinstance(seed, int) else None,
+        )
+        for summary in summaries:
+            final = summary.final_configuration(game)
+            counts[final] = counts.get(final, 0) + 1
+        return BasinProfile(counts=counts, samples=samples)
     rngs = spawn_rngs(seed if isinstance(seed, int) else None, 2 * samples)
     engine = LearningEngine(policy=policy, record_configurations=False, backend=backend)
-    counts: Dict[Configuration, int] = {}
     for index in range(samples):
         start = random_configuration(game, seed=rngs[2 * index])
         final = engine.run(game, start, seed=rngs[2 * index + 1]).final

@@ -4,14 +4,18 @@ Commands
 --------
 ``list``
     Show the available experiments with one-line descriptions.
-``run E7 [--seed N] [--fast]``
+``run E7 [--seed N] [--fast] [--backend B] [--workers N]``
     Run one experiment and print its table (``--fast`` shrinks the
-    workload for a quick look).
+    workload for a quick look; ``--backend``/``--workers`` are passed
+    through to runners that accept them — same numbers, different
+    speed).
 ``all [--fast]``
     Run every experiment in order.
-``demo [--miners N] [--coins K] [--seed N]``
+``demo [--miners N] [--coins K] [--seed N] [--backend B] [--workers N] [--noisy]``
     Generate a random game, converge learning from a random start, and
     print the equilibrium with payoffs and a basin profile.
+    ``--noisy`` additionally runs the sample-based learner from the
+    same start and reports whether it found an exact equilibrium.
 ``migrate [--seed N]``
     Replay the Figure 1 BTC/BCH episode and print sparklines.
 """
@@ -19,6 +23,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
@@ -39,6 +44,8 @@ _DESCRIPTIONS = {
     "E12": "Extension: simultaneous moves cycle; inertia fixes it",
     "E13": "Extension: equilibrium basins + manipulation planner",
     "E14": "Extension: exact worst-case learning time (DAG view)",
+    "E15": "Extension: noisy sampled learning vs. Theorem 1's prediction",
+    "E16": "Extension: realized-reward risk at/off equilibrium",
 }
 
 _FAST_PARAMS = {
@@ -57,6 +64,10 @@ _FAST_PARAMS = {
     "E12": dict(games=4, miners=6, coins=3, starts=6),
     "E13": dict(games=3, miners=6, coins=2, samples=20),
     "E14": dict(games=4, miners=4, coins=2, empirical_runs=10),
+    "E15": dict(games=1, miners=5, coins=2, budgets=(1, 16, 128), replications=12,
+                max_activations=1500),
+    "E16": dict(miners=5, coins=2, horizon_rounds=400, replications=12,
+                reconcile_horizon_h=120.0),
 }
 
 
@@ -73,6 +84,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS, key=_experiment_key))
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--fast", action="store_true", help="shrunken workload")
+    run.add_argument(
+        "--backend",
+        choices=("fast", "exact"),
+        default=None,
+        help="numeric backend for runners that accept one (identical results)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for runners that accept them (0 = serial)",
+    )
 
     run_all = subparsers.add_parser("all", help="run every experiment")
     run_all.add_argument("--seed", type=int, default=0)
@@ -82,6 +105,29 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--miners", type=int, default=8)
     demo.add_argument("--coins", type=int, default=3)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--backend",
+        choices=("fast", "exact"),
+        default="fast",
+        help="learning-loop arithmetic (identical trajectories)",
+    )
+    demo.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan the basin sampling out over N worker processes",
+    )
+    demo.add_argument(
+        "--noisy",
+        action="store_true",
+        help="also run the sample-based noisy learner from the same start",
+    )
+    demo.add_argument(
+        "--budget",
+        type=int,
+        default=64,
+        help="lottery rounds per estimate for --noisy (default 64)",
+    )
 
     migrate = subparsers.add_parser("migrate", help="Figure 1 sparkline replay")
     migrate.add_argument("--seed", type=int, default=2017)
@@ -98,16 +144,41 @@ def _cmd_list(out) -> int:
     return 0
 
 
-def _cmd_run(name: str, seed: int, fast: bool, out) -> int:
+def _cmd_run(
+    name: str,
+    seed: int,
+    fast: bool,
+    out,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> int:
     params = dict(_FAST_PARAMS[name]) if fast else {}
     params["seed"] = seed
+    # Only forward knobs the runner's signature accepts; the CLI stays
+    # uniform while experiments adopt backend/workers incrementally.
+    accepted = inspect.signature(ALL_EXPERIMENTS[name]).parameters
+    for knob, value in (("backend", backend), ("workers", workers)):
+        if value is not None:
+            if knob not in accepted:
+                out.write(f"note: {name} does not take --{knob}; ignoring\n")
+            else:
+                params[knob] = value
     result = ALL_EXPERIMENTS[name](**params)
     out.write(result.render() + "\n")
     out.write(f"\nmetrics: {result.metrics}\n")
     return 0
 
 
-def _cmd_demo(miners: int, coins: int, seed: int, out) -> int:
+def _cmd_demo(
+    miners: int,
+    coins: int,
+    seed: int,
+    out,
+    backend: str = "fast",
+    workers: int = 0,
+    noisy: bool = False,
+    budget: int = 64,
+) -> int:
     from repro.analysis.basins import basin_profile
     from repro.analysis.welfare import payoff_distribution
     from repro.core.factories import random_configuration, random_game
@@ -116,18 +187,39 @@ def _cmd_demo(miners: int, coins: int, seed: int, out) -> int:
     game = random_game(miners, coins, seed=seed)
     out.write(f"{game}\n")
     start = random_configuration(game, seed=seed + 1)
-    trajectory = LearningEngine().run(game, start, seed=seed + 2)
+    trajectory = LearningEngine(backend=backend).run(game, start, seed=seed + 2)
     out.write(
         f"converged in {trajectory.length} steps to {trajectory.final.as_dict()}\n"
     )
     out.write("payoffs:\n")
     for name, payoff in payoff_distribution(game, trajectory.final).items():
         out.write(f"  {name}: {float(payoff):.3f}\n")
-    profile = basin_profile(game, samples=25, seed=seed + 3)
+    if workers > 0:
+        from repro.kernel.batch import BatchRunner
+
+        with BatchRunner(
+            backend=backend, executor="process", max_workers=workers
+        ) as runner:
+            profile = basin_profile(
+                game, samples=25, seed=seed + 3, backend=backend, runner=runner
+            )
+    else:
+        profile = basin_profile(game, samples=25, seed=seed + 3, backend=backend)
     out.write(
         f"basins: {profile.distinct_equilibria} equilibria reached from 25 starts, "
         f"entropy {profile.entropy():.2f} bits\n"
     )
+    if noisy:
+        from repro.stochastic.noisy_engine import NoisyLearningEngine
+
+        result = NoisyLearningEngine(budget=budget).run(game, start, seed=seed + 4)
+        verdict = "an exact equilibrium" if result.reached_equilibrium else (
+            "NOT an equilibrium (misconverged)"
+        )
+        out.write(
+            f"noisy learner (budget {budget}): settled={result.settled} after "
+            f"{result.activations} activations / {result.moves} moves on {verdict}\n"
+        )
     return 0
 
 
@@ -152,7 +244,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
-        return _cmd_run(args.experiment, args.seed, args.fast, out)
+        return _cmd_run(
+            args.experiment, args.seed, args.fast, out,
+            backend=args.backend, workers=args.workers,
+        )
     if args.command == "all":
         code = 0
         for name in sorted(ALL_EXPERIMENTS, key=_experiment_key):
@@ -160,7 +255,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             code = max(code, _cmd_run(name, args.seed, args.fast, out))
         return code
     if args.command == "demo":
-        return _cmd_demo(args.miners, args.coins, args.seed, out)
+        return _cmd_demo(
+            args.miners, args.coins, args.seed, out,
+            backend=args.backend, workers=args.workers,
+            noisy=args.noisy, budget=args.budget,
+        )
     if args.command == "migrate":
         return _cmd_migrate(args.seed, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -20,12 +20,15 @@ from repro.experiments import (
     e12_simultaneous,
     e13_basins,
     e14_exact_paths,
+    e15_noisy_convergence,
+    e16_risk,
 )
 from repro.experiments.common import ExperimentResult
 
-#: E1–E10 reproduce the paper's artifacts; E11–E13 execute its
+#: E1–E10 reproduce the paper's artifacts; E11–E16 execute its
 #: discussion/future-work directions (asymmetric mining, simultaneous
-#: dynamics, basin analysis + manipulation planning).
+#: dynamics, basin analysis + manipulation planning, noisy sampled
+#: learning, realized-reward risk).
 ALL_EXPERIMENTS = {
     "E1": e01_migration.run,
     "E2": e02_convergence.run,
@@ -41,6 +44,8 @@ ALL_EXPERIMENTS = {
     "E12": e12_simultaneous.run,
     "E13": e13_basins.run,
     "E14": e14_exact_paths.run,
+    "E15": e15_noisy_convergence.run,
+    "E16": e16_risk.run,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

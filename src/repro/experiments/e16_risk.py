@@ -1,0 +1,113 @@
+"""E16 — extension: reward risk at and off equilibrium.
+
+Expected payoffs hide the variance miners actually live with. For one
+game this experiment contrasts an exact equilibrium (the greedy
+Appendix A construction) with an unstable start: per-miner expected
+totals, closed-form vs. sampled standard deviations, empirical
+ruin-style tail probabilities and their Chebyshev bounds
+(:mod:`repro.stochastic.risk`), plus the chain-simulator
+reconciliation (:mod:`repro.stochastic.bridge`) that ties the block
+lottery back to the physical PoW layer.
+"""
+
+from __future__ import annotations
+
+from repro.core.equilibrium import greedy_equilibrium
+from repro.core.factories import random_configuration, random_game
+from repro.experiments.common import ExperimentResult
+from repro.stochastic.bridge import reconcile
+from repro.stochastic.risk import reward_risk, ruin_bound
+from repro.util.rng import spawn_rngs
+from repro.util.tables import Table
+
+
+def run(
+    *,
+    miners: int = 6,
+    coins: int = 2,
+    horizon_rounds: int = 2_000,
+    replications: int = 40,
+    ruin_fraction: float = 0.8,
+    reconcile_horizon_h: float = 400.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Risk profiles at equilibrium vs. off equilibrium, one game."""
+    rng, start_rng, eq_rng, off_rng = spawn_rngs(seed, 4)
+    game = random_game(miners, coins, seed=rng)
+    equilibrium = greedy_equilibrium(game)
+    start = random_configuration(game, seed=start_rng)
+    for _ in range(50):
+        if not game.is_stable(start):
+            break
+        start = random_configuration(game, seed=start_rng)
+
+    table = Table(
+        "E16 — realized-reward risk (closed form, sampled, Chebyshev)",
+        [
+            "state",
+            "miner",
+            "expected total",
+            "realized mean",
+            "exact σ",
+            "realized σ",
+            "CV",
+            f"P(ruin<{ruin_fraction:.0%})",
+            "Chebyshev bound",
+        ],
+    )
+    profiles = {}
+    for label, config, config_rng in (
+        ("equilibrium", equilibrium, eq_rng),
+        ("off-equilibrium", start, off_rng),
+    ):
+        profile = reward_risk(
+            game,
+            config,
+            horizon_rounds=horizon_rounds,
+            replications=replications,
+            ruin_fraction=ruin_fraction,
+            seed=int(config_rng.integers(0, 2**31)),
+        )
+        profiles[label] = (config, profile)
+        for entry in profile.miners:
+            bound = ruin_bound(
+                game,
+                config,
+                game.miner_named(entry.name),
+                horizon_rounds=horizon_rounds,
+                ruin_fraction=ruin_fraction,
+            )
+            table.add_row(
+                label,
+                entry.name,
+                float(entry.expected_total),
+                float(entry.realized_mean),
+                entry.exact_std,
+                entry.realized_std,
+                entry.coefficient_of_variation,
+                entry.ruin_probability,
+                bound,
+            )
+
+    report = reconcile(
+        game,
+        equilibrium,
+        horizon_h=reconcile_horizon_h,
+        lottery_rounds=horizon_rounds,
+        seed=int(eq_rng.integers(0, 2**31)),
+    )
+    eq_profile = profiles["equilibrium"][1]
+    off_profile = profiles["off-equilibrium"][1]
+    return ExperimentResult(
+        experiment="E16",
+        table=table,
+        metrics={
+            "max_relative_bias_at_equilibrium": eq_profile.max_relative_bias(),
+            "max_relative_bias_off_equilibrium": off_profile.max_relative_bias(),
+            "max_ruin_probability": max(
+                entry.ruin_probability for entry in eq_profile.miners
+            ),
+            "chain_reconciliation_deviation": report.max_deviation("chain"),
+            "lottery_reconciliation_deviation": report.max_deviation("lottery"),
+        },
+    )

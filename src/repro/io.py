@@ -1,9 +1,10 @@
-"""JSON serialization for games, configurations and results.
+"""JSON serialization for games, configurations and trajectories.
 
-Exact rationals survive the round trip: powers and rewards serialize as
-``"numerator/denominator"`` strings, never floats, so a game loaded
-from disk has bit-identical strategic structure (stability, potential
-comparisons, design invariants) to the one saved.
+Exact rationals survive the round trip: powers, rewards and step
+payoffs serialize as ``"numerator/denominator"`` strings, never floats,
+so a game loaded from disk has bit-identical strategic structure
+(stability, potential comparisons, design invariants) to the one saved,
+and a loaded trajectory's steps carry the original exact gains.
 
 Format (version 1)::
 
@@ -16,6 +17,10 @@ Format (version 1)::
     }
 
 Configurations reference the owning game's miner/coin names only.
+Trajectories store the initial assignment (with its miner order, so
+rebuilt configurations compare equal to the originals) plus the step
+list; intermediate configurations are *replayed* from the moves rather
+than stored, which keeps files small and the round trip exact.
 """
 
 from __future__ import annotations
@@ -29,9 +34,11 @@ from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
 from repro.exceptions import InvalidModelError
+from repro.learning.trajectory import Step, Trajectory
 
 GAME_FORMAT = "game-of-coins/game"
 CONFIGURATION_FORMAT = "game-of-coins/configuration"
+TRAJECTORY_FORMAT = "game-of-coins/trajectory"
 _VERSION = 1
 
 
@@ -110,6 +117,96 @@ def configuration_from_dict(payload: Dict[str, Any], game: Game) -> Configuratio
     return Configuration.from_mapping(game.miners, mapping)
 
 
+def trajectory_to_dict(trajectory: Trajectory) -> Dict[str, Any]:
+    """A JSON-ready dict for *trajectory* (payoffs as exact rationals).
+
+    Stores the initial configuration (with its miner order) and the
+    step list; whether intermediate configurations were recorded is a
+    flag, so the loader reproduces the same ``configurations`` shape
+    the engine would have produced.
+    """
+    initial = trajectory.initial
+    return {
+        "format": TRAJECTORY_FORMAT,
+        "version": _VERSION,
+        "miner_order": [miner.name for miner in initial.miners],
+        "initial": initial.as_dict(),
+        "steps": [
+            {
+                "miner": step.miner.name,
+                "source": step.source.name,
+                "target": step.target.name,
+                "payoff_before": _fraction_to_str(step.payoff_before),
+                "payoff_after": _fraction_to_str(step.payoff_after),
+            }
+            for step in trajectory.steps
+        ],
+        "converged": trajectory.converged,
+        "recorded_configurations": len(trajectory.configurations)
+        == len(trajectory.steps) + 1,
+    }
+
+
+def trajectory_from_dict(payload: Dict[str, Any], game: Game) -> Trajectory:
+    """Rebuild a trajectory saved by :func:`trajectory_to_dict`.
+
+    Configurations are replayed from the initial assignment and the
+    step moves, so every rebuilt configuration (and every step's exact
+    payoffs) compares equal to the original's.
+    """
+    if payload.get("format") != TRAJECTORY_FORMAT:
+        raise InvalidModelError(
+            f"not a trajectory payload (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != _VERSION:
+        raise InvalidModelError(
+            f"unsupported trajectory version {payload.get('version')!r}"
+        )
+    miners = tuple(game.miner_named(name) for name in payload["miner_order"])
+    if frozenset(miners) != frozenset(game.miners):
+        raise InvalidModelError("trajectory miner order does not cover the game")
+    assignment = payload["initial"]
+    initial = Configuration(
+        miners, [game.coin_named(assignment[miner.name]) for miner in miners]
+    )
+    game.validate_configuration(initial)
+    recorded = bool(payload.get("recorded_configurations", True))
+    trajectory = Trajectory(
+        configurations=[initial], converged=bool(payload["converged"])
+    )
+    config = initial
+    for index, entry in enumerate(payload["steps"]):
+        miner = game.miner_named(entry["miner"])
+        source = game.coin_named(entry["source"])
+        target = game.coin_named(entry["target"])
+        if config.coin_of(miner) != source:
+            raise InvalidModelError(
+                f"step {index}: miner {miner.name!r} is on "
+                f"{config.coin_of(miner).name!r}, not the recorded source "
+                f"{source.name!r}; trajectory is inconsistent"
+            )
+        config = config.move(miner, target)
+        trajectory.steps.append(
+            Step(
+                index=index,
+                miner=miner,
+                source=source,
+                target=target,
+                payoff_before=_fraction_from_str(
+                    entry["payoff_before"], context=f"step {index} payoff_before"
+                ),
+                payoff_after=_fraction_from_str(
+                    entry["payoff_after"], context=f"step {index} payoff_after"
+                ),
+            )
+        )
+        if recorded:
+            trajectory.configurations.append(config)
+    if not recorded and trajectory.steps:
+        trajectory.configurations.append(config)
+    return trajectory
+
+
 def save_game(game: Game, path: str) -> None:
     """Write *game* to *path* as JSON."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -130,3 +227,15 @@ def save_configuration(config: Configuration, path: str) -> None:
 def load_configuration(path: str, game: Game) -> Configuration:
     with open(path, "r", encoding="utf-8") as handle:
         return configuration_from_dict(json.load(handle), game)
+
+
+def save_trajectory(trajectory: Trajectory, path: str) -> None:
+    """Write *trajectory* to *path* as JSON (exact payoffs preserved)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory_to_dict(trajectory), handle, indent=2, sort_keys=True)
+
+
+def load_trajectory(path: str, game: Game) -> Trajectory:
+    """Read a trajectory previously written by :func:`save_trajectory`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return trajectory_from_dict(json.load(handle), game)

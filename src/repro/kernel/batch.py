@@ -34,6 +34,107 @@ from repro.core.game import Game
 _AUTO_PROCESS_THRESHOLD = 32
 
 
+class PooledRunner:
+    """Shared executor plumbing for chunked batch runners.
+
+    Subclasses declare ``executor`` / ``max_workers`` fields, call
+    :meth:`_init_pool` and :meth:`_validate_pool_args` during init, and
+    hand :meth:`_execute_chunked` a picklable module-level worker. The
+    plumbing — lazy pool reuse across calls, the ``auto`` mode switch,
+    and the degrade-quietly fallback for transport failures — then
+    behaves identically for every runner built on it
+    (:class:`BatchRunner` here,
+    :class:`~repro.stochastic.noisy_engine.NoisyBatchRunner` in the
+    stochastic layer).
+    """
+
+    #: ``auto`` uses a process pool from this many items upward.
+    auto_process_threshold: int = _AUTO_PROCESS_THRESHOLD
+
+    executor: str
+    max_workers: Optional[int]
+
+    def _init_pool(self) -> None:
+        self._pool = None
+        self._pool_key = None
+
+    def _validate_pool_args(self) -> None:
+        if self.executor not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                f"executor must be 'auto', 'serial', 'thread' or 'process', "
+                f"got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+
+    def _mode(self, items: int) -> str:
+        if self.executor != "auto":
+            return self.executor
+        cores = os.cpu_count() or 1
+        if items >= self.auto_process_threshold and cores >= 2:
+            return "process"
+        return "serial"
+
+    def _get_pool(self, mode: str, workers: int):
+        key = (mode, workers)
+        if self._pool is None or self._pool_key != key:
+            self.close()
+            pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+            self._pool = pool_cls(max_workers=workers)
+            self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the reused worker pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _execute_chunked(self, worker, serial_payload, make_chunks, items: int):
+        """Map *worker* over per-worker chunks, degrading to one serial call.
+
+        ``make_chunks(chunk_size)`` builds the payload list;
+        ``worker(serial_payload)`` must be equivalent to the
+        concatenated chunk results (the pre-spawned-stream seeding
+        discipline guarantees it for every runner here).
+        """
+        mode = self._mode(items)
+        if mode == "serial":
+            return worker(serial_payload)
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, items)
+        chunks = make_chunks(-(-items // workers))
+        try:
+            pool = self._get_pool(mode, workers)
+            parts = list(pool.map(worker, chunks))
+        except (OSError, BrokenExecutor, PicklingError, AttributeError, TypeError) as error:
+            # Environment/transport failures (sandboxes without
+            # fork/semaphores; unpicklable payloads, which surface as
+            # PicklingError/AttributeError/TypeError from the pickler):
+            # the serial result is identical by construction, so
+            # degrade quietly. Exceptions raised *inside* a task
+            # propagate — from the serial rerun if caught here.
+            self.close()
+            warnings.warn(
+                f"{type(self).__name__}: {mode} executor unavailable ({error}); "
+                "running serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return worker(serial_payload)
+        flat = []
+        for part in parts:
+            flat.extend(part)
+        return flat
+
+
 @dataclass(frozen=True)
 class TrajectorySummary:
     """Picklable outcome of one batched learning run."""
@@ -93,7 +194,7 @@ def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
 
 
 @dataclass
-class BatchRunner:
+class BatchRunner(PooledRunner):
     """Run many independent learning trajectories, optionally in parallel.
 
     Parameters
@@ -123,17 +224,10 @@ class BatchRunner:
     max_steps: Optional[int] = None
 
     def __post_init__(self) -> None:
-        self._pool = None
-        self._pool_key = None
+        self._init_pool()
         if self.backend not in ("fast", "exact"):
             raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
-        if self.executor not in ("auto", "serial", "thread", "process"):
-            raise ValueError(
-                f"executor must be 'auto', 'serial', 'thread' or 'process', "
-                f"got {self.executor!r}"
-            )
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+        self._validate_pool_args()
 
     # ------------------------------------------------------------------
 
@@ -188,49 +282,10 @@ class BatchRunner:
 
     # ------------------------------------------------------------------
 
-    def _mode(self, runs: int) -> str:
-        if self.executor != "auto":
-            return self.executor
-        cores = os.cpu_count() or 1
-        if runs >= _AUTO_PROCESS_THRESHOLD and cores >= 2:
-            return "process"
-        return "serial"
-
-    def _get_pool(self, mode: str, workers: int):
-        key = (mode, workers)
-        if self._pool is None or self._pool_key != key:
-            self.close()
-            pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
-            self._pool = pool_cls(max_workers=workers)
-            self._pool_key = key
-        return self._pool
-
-    def close(self) -> None:
-        """Shut down the reused worker pool (if one was created)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-            self._pool_key = None
-
-    def __enter__(self) -> "BatchRunner":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
     def _execute(self, game, policy, scheduler, seed_pairs) -> List[TrajectorySummary]:
-        mode = self._mode(len(seed_pairs))
-        if mode == "serial":
-            return _run_chunk(
-                (game, policy, scheduler, self.backend, self.max_steps, 0, seed_pairs)
-            )
-        workers = self.max_workers or os.cpu_count() or 1
-        workers = min(workers, len(seed_pairs))
-        # One payload per worker: ship the game once per chunk, not per run.
-        chunks = []
-        chunk_size = -(-len(seed_pairs) // workers)
-        for start in range(0, len(seed_pairs), chunk_size):
-            chunks.append(
+        def make_chunks(chunk_size: int):
+            # One payload per worker: ship the game once per chunk.
+            return [
                 (
                     game,
                     policy,
@@ -240,31 +295,15 @@ class BatchRunner:
                     start,
                     seed_pairs[start : start + chunk_size],
                 )
-            )
-        try:
-            pool = self._get_pool(mode, workers)
-            results = list(pool.map(_run_chunk, chunks))
-        except (OSError, BrokenExecutor, PicklingError, AttributeError, TypeError) as error:
-            # Environment/transport failures (sandboxes without
-            # fork/semaphores; unpicklable custom strategies, which
-            # surface as PicklingError/AttributeError/TypeError from
-            # the pickler): the serial result is identical by
-            # construction, so degrade quietly. Exceptions raised
-            # *inside* a task (a buggy policy, a ConvergenceError)
-            # propagate — from the serial rerun if caught here.
-            self.close()
-            warnings.warn(
-                f"BatchRunner: {mode} executor unavailable ({error}); running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return _run_chunk(
-                (game, policy, scheduler, self.backend, self.max_steps, 0, seed_pairs)
-            )
-        flat: List[TrajectorySummary] = []
-        for part in results:
-            flat.extend(part)
-        return flat
+                for start in range(0, len(seed_pairs), chunk_size)
+            ]
+
+        return self._execute_chunked(
+            _run_chunk,
+            (game, policy, scheduler, self.backend, self.max_steps, 0, seed_pairs),
+            make_chunks,
+            len(seed_pairs),
+        )
 
 
 def run_trajectory_batch(

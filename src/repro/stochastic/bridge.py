@@ -1,0 +1,178 @@
+"""Bridge between the game layer and the event-driven chain simulator.
+
+:mod:`repro.chainsim` simulates PoW mining physically (exponential
+block races, difficulty rules, Poisson re-evaluation); the stochastic
+layer samples the same randomness at the game layer (one block per
+occupied coin per round). This module drives
+:class:`~repro.chainsim.miningsim.MiningSimulation` *from a game* and
+reconciles the two realizations against each other and against the
+model's expectation:
+
+* every game coin becomes a :class:`~repro.market.coins.CoinSpec` whose
+  per-block value equals the coin's reward ``F(c)`` (flat unit exchange
+  rate), all sharing one target block interval — so when difficulty is
+  calibrated to the initial occupants, every occupied coin produces
+  blocks at the same rate and the simulator's long-run fiat shares
+  match the game's payoff shares, exactly the DESIGN.md §4 substitution
+  argument;
+* :func:`reconcile` freezes strategic switching (a vanishing
+  re-evaluation rate), runs both realizations, and reports each
+  miner's fiat share from the chain simulator, from the round lottery,
+  and from the exact model — the integration-level check that the two
+  stochastic substrates agree about what they are approximating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.chainsim.miningsim import MiningSimulation, SimMiner
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.exceptions import SimulationError
+from repro.market.coins import CoinSpec
+from repro.stochastic.lottery import realized_rewards, sample_block_wins
+from repro.util.rng import RngLike
+
+
+def specs_from_game(
+    game: Game,
+    *,
+    block_interval_s: float = 600.0,
+    algorithm: str = "sha256d",
+) -> List[CoinSpec]:
+    """One :class:`CoinSpec` per game coin, paying ``F(c)`` per block.
+
+    The reward lands in ``block_subsidy`` (fees zero) so that under a
+    flat unit exchange rate one block is worth exactly the game-layer
+    reward.
+    """
+    return [
+        CoinSpec(
+            name=coin.name,
+            block_interval_s=block_interval_s,
+            block_subsidy=float(game.rewards[coin]),
+            fees_per_block=0.0,
+            algorithm=algorithm,
+        )
+        for coin in game.coins
+    ]
+
+
+def simulation_from_game(
+    game: Game,
+    *,
+    reevaluation_rate_per_h: float = 2.0,
+    switch_threshold: float = 0.0,
+    block_interval_s: float = 600.0,
+    seed: RngLike = None,
+) -> MiningSimulation:
+    """A :class:`MiningSimulation` over the game's miners and coins.
+
+    Powers become floats (the chain layer trades exactness for event
+    throughput); the exchange rate is flat 1.0 because the specs
+    already denominate blocks in reward units.
+    """
+    miners = [SimMiner(miner.name, float(miner.power)) for miner in game.miners]
+    return MiningSimulation(
+        specs_from_game(game, block_interval_s=block_interval_s),
+        miners,
+        lambda _t, _coin: 1.0,
+        reevaluation_rate_per_h=reevaluation_rate_per_h,
+        switch_threshold=switch_threshold,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class ReconciliationReport:
+    """Per-miner fiat shares from three views of the same configuration."""
+
+    #: Exact model share: ``u_p(s) / Σ_occupied F(c)``.
+    expected_share: Dict[str, float]
+    #: Realized share from the event-driven chain simulation.
+    chain_share: Dict[str, float]
+    #: Realized share from the round-lottery sampler.
+    lottery_share: Dict[str, float]
+    blocks_by_coin: Dict[str, int]
+    lottery_rounds: int
+    horizon_h: float
+
+    def max_deviation(self, which: str = "chain") -> float:
+        """Largest |realized − expected| share across miners.
+
+        *which* selects the realization: ``"chain"`` or ``"lottery"``.
+        """
+        if which == "chain":
+            realized = self.chain_share
+        elif which == "lottery":
+            realized = self.lottery_share
+        else:
+            raise ValueError(f"which must be 'chain' or 'lottery', got {which!r}")
+        return max(
+            abs(realized[name] - self.expected_share[name])
+            for name in self.expected_share
+        )
+
+
+def reconcile(
+    game: Game,
+    config: Configuration,
+    *,
+    horizon_h: float = 500.0,
+    lottery_rounds: int = 2_000,
+    block_interval_s: float = 600.0,
+    seed: Optional[int] = None,
+) -> ReconciliationReport:
+    """Run both stochastic substrates at *config* and compare shares.
+
+    Strategic switching is frozen (vanishing re-evaluation rate) so the
+    chain simulation realizes exactly the configuration under test.
+    Both realizations should concentrate on the model's payoff shares
+    as the horizon grows; the report quantifies how closely.
+    """
+    game.validate_configuration(config)
+    if horizon_h <= 0:
+        raise SimulationError("horizon must be positive")
+
+    total_reward = sum(
+        (game.rewards[coin] for coin in config.occupied_coins()), Fraction(0)
+    )
+    expected = {
+        miner.name: float(game.payoff(miner, config) / total_reward)
+        for miner in game.miners
+    }
+
+    sim = simulation_from_game(
+        game,
+        reevaluation_rate_per_h=1e-9,
+        block_interval_s=block_interval_s,
+        seed=seed,
+    )
+    result = sim.run(horizon_h, initial_assignment=config.as_dict())
+    chain_total = sum(result.fiat_by_miner.values())
+    chain_share = {
+        name: (value / chain_total if chain_total else 0.0)
+        for name, value in result.fiat_by_miner.items()
+    }
+
+    sample = sample_block_wins(
+        game, config, rounds=lottery_rounds, seed=None if seed is None else seed + 1
+    )
+    rewards = realized_rewards(game, config, sample)
+    lottery_total = sum(rewards.values(), Fraction(0))
+    lottery_share = {
+        miner.name: (float(rewards[miner] / lottery_total) if lottery_total else 0.0)
+        for miner in game.miners
+    }
+
+    return ReconciliationReport(
+        expected_share=expected,
+        chain_share=chain_share,
+        lottery_share=lottery_share,
+        blocks_by_coin={name: chain.height for name, chain in result.chains.items()},
+        lottery_rounds=lottery_rounds,
+        horizon_h=horizon_h,
+    )

@@ -1,0 +1,173 @@
+"""Empirical payoff estimation from sampled block lotteries.
+
+Bridges the realized layer back to the model: a miner's per-round
+payoff estimate after ``T`` lottery rounds is ``wins/T · F(c)`` — an
+unbiased, *exact-rational* estimator of ``u_p(s)`` whose error bar is
+the Binomial normal approximation. The noisy learning engine consumes
+these estimates; its sample budget per decision is pluggable through
+the :class:`SampleBudget` protocol so experiments can sweep fixed
+budgets against schedules that grow with time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Union
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.core.miner import Miner
+from repro.stochastic.lottery import sample_block_wins
+from repro.util.rng import RngLike
+
+
+@dataclass(frozen=True)
+class PayoffEstimate:
+    """One miner's empirical per-round payoff with a confidence interval.
+
+    ``mean`` is exact (``wins/rounds · F(c)``); the interval is the
+    normal approximation to the Binomial win count, scaled by the block
+    reward — a float, because it only guides interpretation, never a
+    strategic comparison.
+    """
+
+    mean: Fraction
+    wins: int
+    rounds: int
+    stderr: float
+    ci_low: float
+    ci_high: float
+
+    def covers(self, value: Fraction) -> bool:
+        """Whether *value* lies inside the confidence interval."""
+        return self.ci_low <= float(value) <= self.ci_high
+
+
+def estimate_payoffs(
+    game: Game,
+    config: Configuration,
+    *,
+    rounds: int,
+    seed: RngLike = None,
+    z: float = 1.96,
+) -> Dict[Miner, PayoffEstimate]:
+    """Estimate every miner's payoff from *rounds* sampled lotteries.
+
+    All miners share one lottery run (each round every occupied coin
+    races one block), so the estimates are the realized co-movement a
+    miner would actually observe, not independent per-miner draws.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be ≥ 1, got {rounds}")
+    sample = sample_block_wins(game, config, rounds=rounds, seed=seed)
+    estimates: Dict[Miner, PayoffEstimate] = {}
+    for index, miner in enumerate(game.miners):
+        wins = sample.wins[index]
+        reward = game.rewards[config.coin_of(miner)]
+        mean = Fraction(wins, rounds) * reward
+        rate = wins / rounds
+        stderr = float(reward) * math.sqrt(rate * (1.0 - rate) / rounds)
+        estimates[miner] = PayoffEstimate(
+            mean=mean,
+            wins=wins,
+            rounds=rounds,
+            stderr=stderr,
+            ci_low=float(mean) - z * stderr,
+            ci_high=float(mean) + z * stderr,
+        )
+    return estimates
+
+
+def estimation_error(
+    game: Game,
+    config: Configuration,
+    estimates: Dict[Miner, PayoffEstimate],
+) -> Dict[Miner, Fraction]:
+    """Exact signed error ``estimate − u_p(s)`` per miner."""
+    return {
+        miner: estimate.mean - game.payoff(miner, config)
+        for miner, estimate in estimates.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Sample budgets
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedBudget:
+    """The same number of lottery rounds for every decision."""
+
+    rounds: int
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be ≥ 1, got {self.rounds}")
+
+    def rounds_at(self, step: int) -> int:
+        return self.rounds
+
+
+@dataclass(frozen=True)
+class GeometricBudget:
+    """A budget that multiplies by *growth* every *period* decisions.
+
+    Models learners that sample more carefully as the system calms
+    down; capping keeps per-decision cost bounded.
+    """
+
+    base: int
+    growth: float = 2.0
+    period: int = 1
+    cap: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.base < 1:
+            raise ValueError(f"base must be ≥ 1, got {self.base}")
+        if self.growth < 1.0:
+            raise ValueError(f"growth must be ≥ 1, got {self.growth}")
+        if self.period < 1:
+            raise ValueError(f"period must be ≥ 1, got {self.period}")
+        if self.cap < self.base:
+            raise ValueError(f"cap must be ≥ base, got cap={self.cap}, base={self.base}")
+
+    def rounds_at(self, step: int) -> int:
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        exponent = step // self.period
+        # Avoid overflowing float exponentiation once the cap is reached.
+        if self.growth > 1.0 and exponent * math.log(self.growth) > math.log(
+            self.cap / self.base
+        ):
+            return self.cap
+        return min(self.cap, int(self.base * self.growth**exponent))
+
+
+#: Anything with a ``rounds_at(step) -> int`` method, or a plain int
+#: (treated as a :class:`FixedBudget`).
+SampleBudget = Union[FixedBudget, GeometricBudget]
+
+
+def as_budget(budget: Union[int, SampleBudget]) -> SampleBudget:
+    """Normalize an ``int | SampleBudget`` argument to a budget object."""
+    if isinstance(budget, int):
+        return FixedBudget(budget)
+    if hasattr(budget, "rounds_at"):
+        return budget
+    raise TypeError(
+        f"budget must be an int or expose rounds_at(step), got {type(budget).__name__}"
+    )
+
+
+__all__ = [
+    "PayoffEstimate",
+    "estimate_payoffs",
+    "estimation_error",
+    "FixedBudget",
+    "GeometricBudget",
+    "SampleBudget",
+    "as_budget",
+]

@@ -1,0 +1,290 @@
+"""Sample-based better-response learning with noisy payoff estimates.
+
+The exact engines (:mod:`repro.learning.engine`) assume miners observe
+expected payoffs; Theorem 1 then guarantees convergence to a pure
+equilibrium. Real miners observe *sampled block wins*. This engine asks
+whether the theorem's prediction survives that noise:
+
+* at each activation a uniformly random miner (there is no exact
+  stability oracle to schedule from — that is the point) estimates its
+  payoff on every coin by running the integer block lottery for
+  ``budget.rounds_at(t)`` rounds per coin, then moves to the estimated
+  best coin if the *estimated* improvement is strict;
+* estimate comparisons are exact: ``wins_j · R[j] > wins_cur · R[cur]``
+  in kernel-scaled integers (the round counts are equal), so noise
+  enters only through the Binomial win counts, never through float
+  arithmetic;
+* optional ``inertia`` (probability of ignoring an improving estimate)
+  and ``exploration`` (trembling-hand random move) model sluggish and
+  restless miners;
+* the run *settles* when ``patience`` consecutive activations produced
+  no move — the only stopping rule available to an agent that cannot
+  verify stability exactly. Whether the settled state actually is a
+  pure equilibrium is recorded afterwards through the exact kernel
+  check, which is what the risk layer's misconvergence metrics count.
+
+:class:`NoisyBatchRunner` fans replications out over threads or
+processes with the same pre-spawned-stream scheme as
+:class:`repro.kernel.batch.BatchRunner`, so a fixed seed yields
+bit-identical results in serial, threaded and multi-process execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.game import Game
+from repro.kernel.batch import PooledRunner
+from repro.kernel.core import KernelGame
+from repro.stochastic.estimator import SampleBudget, as_budget
+from repro.stochastic.lottery import sample_win_count
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class NoisyRunResult:
+    """Picklable outcome of one noisy learning run."""
+
+    run_index: int
+    #: Final coin name per miner, in ``game.miners`` order.
+    final_coins: Tuple[str, ...]
+    #: Activations consumed (settled runs stop early).
+    activations: int
+    #: Coin switches actually applied.
+    moves: int
+    #: Whether ``patience`` quiet activations were reached in budget.
+    settled: bool
+    #: Exact kernel verdict on the final state (the misconvergence bit).
+    reached_equilibrium: bool
+    #: Total lottery rounds sampled across all estimates.
+    rounds_sampled: int
+
+    def final_configuration(self, game: Game) -> Configuration:
+        """Materialize the final configuration against *game*."""
+        return game.configuration(self.final_coins)
+
+
+@dataclass
+class NoisyLearningEngine:
+    """A better-response learner that only sees sampled rewards.
+
+    Parameters
+    ----------
+    budget:
+        Lottery rounds per per-coin estimate at each activation — an
+        ``int`` (fixed) or a :class:`~repro.stochastic.estimator`
+        budget object (e.g. :class:`GeometricBudget`). Larger budgets
+        mean sharper estimates; as the budget grows the dynamics
+        converge to exact better response and Theorem 1 takes over.
+    max_activations:
+        Hard stop; runs that neither settle nor exhaust this budget do
+        not exist (the loop always terminates).
+    patience:
+        Consecutive quiet activations before the run settles. ``None``
+        (default) resolves to ``4·n_miners`` at run time, enough for
+        every miner to be activated a few times in expectation.
+    inertia:
+        Probability of ignoring an improving estimate and staying put.
+    exploration:
+        Probability of a trembling-hand move to a uniformly random
+        other coin, bypassing estimation entirely. Nonzero exploration
+        keeps resetting the quiet counter, so settled runs become rare
+        by design.
+    """
+
+    budget: Union[int, SampleBudget] = 64
+    max_activations: int = 10_000
+    patience: Optional[int] = None
+    inertia: float = 0.0
+    exploration: float = 0.0
+
+    def __post_init__(self) -> None:
+        as_budget(self.budget)  # validate eagerly
+        if self.max_activations < 1:
+            raise ValueError(
+                f"max_activations must be ≥ 1, got {self.max_activations}"
+            )
+        if self.patience is not None and self.patience < 1:
+            raise ValueError(f"patience must be ≥ 1, got {self.patience}")
+        if not 0.0 <= self.inertia < 1.0:
+            raise ValueError(f"inertia must be in [0, 1), got {self.inertia}")
+        if not 0.0 <= self.exploration < 1.0:
+            raise ValueError(f"exploration must be in [0, 1), got {self.exploration}")
+
+    def run(
+        self,
+        game: Game,
+        initial: Configuration,
+        *,
+        seed: RngLike = None,
+        run_index: int = 0,
+    ) -> NoisyRunResult:
+        """Run noisy learning from *initial* until settled or out of budget."""
+        game.validate_configuration(initial)
+        rng = make_rng(seed)
+        kernel = KernelGame(game)
+        budget = as_budget(self.budget)
+        patience = self.patience if self.patience is not None else 4 * kernel.n_miners
+
+        assign = kernel.assignment_of(initial)
+        mass = kernel.mass_of(assign)
+        powers = kernel.powers
+        rewards = kernel.rewards
+        n, k = kernel.n_miners, kernel.n_coins
+
+        quiet = 0
+        moves = 0
+        rounds_sampled = 0
+        activations = 0
+        settled = False
+        for t in range(self.max_activations):
+            if quiet >= patience:
+                settled = True
+                break
+            activations = t + 1
+            i = int(rng.integers(0, n))
+            cur = assign[i]
+            power = powers[i]
+
+            if self.exploration > 0.0 and k > 1 and rng.random() < self.exploration:
+                target = int(rng.integers(0, k - 1))
+                if target >= cur:
+                    target += 1
+                assign[i] = target
+                mass[cur] -= power
+                mass[target] += power
+                moves += 1
+                quiet = 0
+                continue
+
+            rounds = budget.rounds_at(t)
+            wins_cur = sample_win_count(rng, power, mass[cur], rounds)
+            rounds_sampled += rounds
+            best = cur
+            best_score = wins_cur * rewards[cur]
+            for j in range(k):
+                if j == cur:
+                    continue
+                wins_j = sample_win_count(rng, power, mass[j] + power, rounds)
+                rounds_sampled += rounds
+                score = wins_j * rewards[j]
+                if score > best_score:
+                    best = j
+                    best_score = score
+            if best == cur:
+                quiet += 1
+                continue
+            if self.inertia > 0.0 and rng.random() < self.inertia:
+                quiet += 1
+                continue
+            assign[i] = best
+            mass[cur] -= power
+            mass[best] += power
+            moves += 1
+            quiet = 0
+        else:
+            # Budget exhausted exactly as patience ran out still counts.
+            settled = quiet >= patience
+
+        coin_names = kernel.coin_names
+        return NoisyRunResult(
+            run_index=run_index,
+            final_coins=tuple(coin_names[j] for j in assign),
+            activations=activations,
+            moves=moves,
+            settled=settled,
+            reached_equilibrium=not kernel.unstable(assign, mass),
+            rounds_sampled=rounds_sampled,
+        )
+
+
+def _run_noisy_chunk(payload: Tuple[Any, ...]) -> List[NoisyRunResult]:
+    """Worker: run a contiguous chunk of noisy replications for one game.
+
+    Module-level so process pools can pickle it; mirrors
+    :func:`repro.kernel.batch._run_chunk`.
+    """
+    from repro.core.factories import random_configuration
+
+    game, engine, first_index, seed_pairs = payload
+    results: List[NoisyRunResult] = []
+    for offset, (start_seed, run_seed) in enumerate(seed_pairs):
+        start = random_configuration(game, seed=np.random.default_rng(start_seed))
+        results.append(
+            engine.run(
+                game,
+                start,
+                seed=np.random.default_rng(run_seed),
+                run_index=first_index + offset,
+            )
+        )
+    return results
+
+
+@dataclass
+class NoisyBatchRunner(PooledRunner):
+    """Run many independent noisy replications, optionally in parallel.
+
+    Seeding matches :class:`repro.kernel.batch.BatchRunner`: stream
+    ``2i`` draws replication *i*'s start, stream ``2i+1`` drives its
+    engine, all spawned up front from one ``SeedSequence(seed)`` — so
+    the result list is identical whether the batch runs serially, on
+    threads, or across processes. Pool management and the
+    degrade-quietly fallback are the shared
+    :class:`~repro.kernel.batch.PooledRunner` plumbing; noisy
+    replications are heavier than exact trajectories, so ``auto``
+    reaches for processes at a lower replication count.
+    """
+
+    executor: str = "auto"
+    max_workers: Optional[int] = None
+    auto_process_threshold = 16
+
+    def __post_init__(self) -> None:
+        self._init_pool()
+        self._validate_pool_args()
+
+    def run(
+        self,
+        game: Game,
+        *,
+        replications: int,
+        engine: Optional[NoisyLearningEngine] = None,
+        seed: Optional[int] = None,
+    ) -> List[NoisyRunResult]:
+        """*replications* noisy runs from random starts, in index order."""
+        if replications < 1:
+            raise ValueError(f"replications must be ≥ 1, got {replications}")
+        if engine is None:
+            engine = NoisyLearningEngine()
+        root = np.random.SeedSequence(seed)
+        streams = root.spawn(2 * replications)
+        seed_pairs = [(streams[2 * i], streams[2 * i + 1]) for i in range(replications)]
+
+        def make_chunks(chunk_size: int):
+            return [
+                (game, engine, start, seed_pairs[start : start + chunk_size])
+                for start in range(0, replications, chunk_size)
+            ]
+
+        return self._execute_chunked(
+            _run_noisy_chunk, (game, engine, 0, seed_pairs), make_chunks, replications
+        )
+
+
+def run_noisy_batch(
+    game: Game,
+    *,
+    replications: int,
+    engine: Optional[NoisyLearningEngine] = None,
+    seed: Optional[int] = None,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
+) -> List[NoisyRunResult]:
+    """Functional one-shot form of :meth:`NoisyBatchRunner.run`."""
+    with NoisyBatchRunner(executor=executor, max_workers=max_workers) as runner:
+        return runner.run(game, replications=replications, engine=engine, seed=seed)

@@ -17,7 +17,7 @@ class TestList:
     def test_lists_all_experiments(self):
         code, text = _run(["list"])
         assert code == 0
-        for i in range(1, 15):
+        for i in range(1, 17):
             assert f"E{i} " in text or f"E{i}\n" in text or f"E{i}  " in text
 
 
@@ -33,6 +33,31 @@ class TestRun:
         assert code == 0
         assert "Observation 3" in text or "E5" in text
 
+    def test_run_fast_e15_noisy(self):
+        code, text = _run(["run", "E15", "--fast", "--seed", "1"])
+        assert code == 0
+        assert "misconvergence" in text
+        assert "metrics" in text
+
+    def test_run_fast_e16_risk(self):
+        code, text = _run(["run", "E16", "--fast", "--seed", "1"])
+        assert code == 0
+        assert "equilibrium" in text
+        assert "metrics" in text
+
+    def test_unaccepted_knob_noted_not_crashed(self):
+        code, text = _run(["run", "E5", "--fast", "--backend", "exact"])
+        assert code == 0
+        # E5 takes no backend parameter: the CLI says so instead of crashing.
+        assert "does not take --backend" in text
+
+    def test_backend_and_workers_on_e13(self):
+        code, text = _run(
+            ["run", "E13", "--fast", "--seed", "1", "--backend", "exact"]
+        )
+        assert code == 0
+        assert "E13" in text
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             _run(["run", "E99"])
@@ -45,6 +70,23 @@ class TestDemo:
         assert "converged" in text
         assert "payoffs" in text
         assert "basins" in text
+
+    def test_demo_backend_exact_matches_fast(self):
+        _, fast_text = _run(["demo", "--miners", "5", "--coins", "2", "--seed", "3"])
+        code, exact_text = _run(
+            ["demo", "--miners", "5", "--coins", "2", "--seed", "3",
+             "--backend", "exact"]
+        )
+        assert code == 0
+        assert exact_text == fast_text  # identical trajectories, both backends
+
+    def test_demo_noisy_reports_verdict(self):
+        code, text = _run(
+            ["demo", "--miners", "4", "--coins", "2", "--seed", "3", "--noisy",
+             "--budget", "128"]
+        )
+        assert code == 0
+        assert "noisy learner (budget 128)" in text
 
 
 class TestMigrate:

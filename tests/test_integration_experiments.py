@@ -22,7 +22,7 @@ from repro.experiments import (
 
 
 def test_registry_is_complete():
-    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 17)}
 
 
 def test_e01_small():
@@ -107,6 +107,10 @@ def test_every_experiment_renders_a_table(name):
         "E12": dict(games=2, miners=6, coins=2, starts=4, seed=2),
         "E13": dict(games=2, miners=6, coins=2, samples=10, seed=2),
         "E14": dict(games=2, miners=4, coins=2, empirical_runs=5, seed=2),
+        "E15": dict(games=1, miners=4, coins=2, budgets=(1, 32), replications=6,
+                    max_activations=600, seed=2),
+        "E16": dict(miners=4, coins=2, horizon_rounds=200, replications=8,
+                    reconcile_horizon_h=60.0, seed=2),
     }
     result = ALL_EXPERIMENTS[name](**small[name])
     rendered = result.render()

@@ -13,9 +13,14 @@ from repro.io import (
     game_to_dict,
     load_configuration,
     load_game,
+    load_trajectory,
     save_configuration,
     save_game,
+    save_trajectory,
+    trajectory_from_dict,
+    trajectory_to_dict,
 )
+from repro.learning.engine import LearningEngine
 
 
 class TestGameRoundTrip:
@@ -91,3 +96,71 @@ class TestConfigurationRoundTrip:
         game = random_game(3, 2, seed=12)
         with pytest.raises(InvalidModelError, match="format"):
             configuration_from_dict({"format": "nope", "assignment": {}}, game)
+
+
+class TestTrajectoryRoundTrip:
+    def _trajectory(self, seed, record_configurations=True):
+        game = random_game(6, 3, seed=seed)
+        start = random_configuration(game, seed=seed + 1)
+        engine = LearningEngine(record_configurations=record_configurations)
+        return game, engine.run(game, start, seed=seed + 2)
+
+    def test_dict_round_trip_is_exact(self):
+        game, trajectory = self._trajectory(20)
+        rebuilt = trajectory_from_dict(trajectory_to_dict(trajectory), game)
+        assert rebuilt.converged == trajectory.converged
+        assert rebuilt.configurations == trajectory.configurations
+        assert len(rebuilt.steps) == len(trajectory.steps)
+        for original, loaded in zip(trajectory.steps, rebuilt.steps):
+            assert loaded.miner == original.miner
+            assert loaded.source == original.source
+            assert loaded.target == original.target
+            # Exact Fractions, not floats: the gains survive bit-for-bit.
+            assert loaded.payoff_before == original.payoff_before
+            assert loaded.payoff_after == original.payoff_after
+            assert isinstance(loaded.payoff_after, Fraction)
+        assert rebuilt.total_gain() == trajectory.total_gain()
+
+    def test_file_round_trip(self, tmp_path):
+        game, trajectory = self._trajectory(23)
+        path = tmp_path / "trajectory.json"
+        save_trajectory(trajectory, str(path))
+        rebuilt = load_trajectory(str(path), game)
+        assert rebuilt.configurations == trajectory.configurations
+        assert rebuilt.final == trajectory.final
+
+    def test_round_trip_without_recorded_configurations(self):
+        game, trajectory = self._trajectory(26, record_configurations=False)
+        assert len(trajectory.configurations) <= 2
+        rebuilt = trajectory_from_dict(trajectory_to_dict(trajectory), game)
+        assert rebuilt.configurations == trajectory.configurations
+        assert rebuilt.final == trajectory.final
+
+    def test_payoffs_not_degraded_to_floats(self):
+        _, trajectory = self._trajectory(29)
+        payload = trajectory_to_dict(trajectory)
+        for entry in payload["steps"]:
+            assert isinstance(entry["payoff_before"], str) and "/" in entry["payoff_before"]
+            assert isinstance(entry["payoff_after"], str) and "/" in entry["payoff_after"]
+
+    def test_wrong_format_rejected(self):
+        game = random_game(3, 2, seed=32)
+        with pytest.raises(InvalidModelError, match="format"):
+            trajectory_from_dict({"format": "nope"}, game)
+
+    def test_inconsistent_steps_rejected(self):
+        game, trajectory = self._trajectory(35)
+        payload = trajectory_to_dict(trajectory)
+        if not payload["steps"]:
+            pytest.skip("trajectory started at an equilibrium")
+        first = payload["steps"][0]
+        first["source"], first["target"] = first["target"], first["source"]
+        with pytest.raises(InvalidModelError, match="inconsistent"):
+            trajectory_from_dict(payload, game)
+
+    def test_unknown_miner_rejected(self):
+        game, trajectory = self._trajectory(38)
+        payload = trajectory_to_dict(trajectory)
+        payload["miner_order"][0] = "nobody"
+        with pytest.raises(InvalidModelError, match="nobody"):
+            trajectory_from_dict(payload, game)
