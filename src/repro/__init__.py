@@ -20,26 +20,40 @@ Quickstart::
 
 Performance & backends
 ----------------------
-Every learning loop runs on one of two numeric backends:
+All sequential dynamics run through **one trajectory loop**
+(:func:`repro.learning.engine.run_better_response`) written against the
+strategy-view protocol (:class:`repro.learning.view.GameView`): the
+policy decides *where*, the scheduler decides *who*, and the view
+answers every evaluation query. The ``backend`` knob picks the view:
 
 ``backend="fast"`` (the default)
-    The :mod:`repro.kernel` integer fast path. Powers and rewards are
-    normalized to common integer denominators once per game; every
-    better-response / stability comparison in the step loop is then a
-    plain integer cross-multiplication — no
-    :class:`fractions.Fraction` is allocated in the hot path. The fast
+    :class:`repro.kernel.KernelView`. Powers and rewards are
+    normalized to common integer denominators once per game; state is
+    a coin index per miner plus an incrementally maintained integer
+    mass per coin (O(1) per step); every better-response / stability
+    comparison is a plain integer cross-multiplication. The fast
     backend is *exact*: it reproduces the Fraction core's decisions
     bit-for-bit (same strict inequalities, same tie-breaks, same RNG
-    draw sequence), which ``tests/test_kernel_parity.py`` asserts on
-    hundreds of randomized games. Expect order-of-magnitude speedups
-    on convergence sweeps (E2 runs ~20× faster).
+    draw sequence), which ``tests/test_kernel_parity.py`` and
+    ``tests/test_view_parity.py`` assert on hundreds of randomized
+    games — for standard **and custom** policies/schedulers alike,
+    since the same strategy code runs on both views. Restricted
+    (asymmetric) games ride the same kernel through a per-miner
+    allowed-coin mask pushed into the view.
 
 ``backend="exact"``
-    The original Fraction loop. Pick it when auditing the kernel
-    itself, or when running a custom policy/scheduler subclass — the
-    engine automatically falls back to it for strategies the kernel
-    has no translation for, so custom code always sees the semantics
-    it overrode.
+    :class:`repro.learning.ExactView` — the original Fraction
+    arithmetic. Kept for audits; no strategy *needs* it anymore.
+
+To write a custom strategy, subclass
+:class:`~repro.learning.policies.BetterResponsePolicy` and override
+``choose_view(self, view, miner, rng)`` (or
+:class:`~repro.learning.schedulers.ActivationScheduler` and
+``pick_view``); query the view and it runs at kernel speed on the
+default backend. The pre-view signatures
+(``choose(game, config, miner, rng)`` / ``pick(...)``) keep working
+through a thin adapter. See README "Writing custom strategies" for
+measured numbers (~9× on an E9-sized custom-policy workload).
 
 Many-trajectory workloads (seeds × schedulers × policies) can
 additionally fan out over processes with
@@ -89,7 +103,7 @@ simulator. E15/E16 report the headline numbers.
 To check a working tree locally the way CI does::
 
     PYTHONPATH=src python -m pytest -x -q          # tier-1 tests
-    ruff check src                                 # lint (CI's scope)
+    ruff check src tests                           # lint (CI's scope)
     PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only  # benches
 
 Subpackages
@@ -98,14 +112,18 @@ Subpackages
     Miners, coins, configurations, the game, potentials, equilibria,
     assumption checkers (paper Sections 2–4, Appendices A–B).
 ``repro.kernel``
-    The exact integer fast path behind ``backend="fast"``, the
+    The integer fast path: :class:`~repro.kernel.core.KernelGame`
+    normalization, the :class:`~repro.kernel.engine.KernelView`
+    strategy-view implementation behind ``backend="fast"``, the
     :class:`~repro.kernel.space.ConfigSpace` enumeration engine behind
     ``backend="space"``, and the
     :class:`~repro.kernel.batch.BatchRunner` for parallel trajectory
     batches.
 ``repro.learning``
-    Better-response policies × activation schedulers × engine; an MWU
-    regret-learning baseline.
+    The :class:`~repro.learning.view.GameView` strategy-view protocol,
+    better-response policies × activation schedulers, and the single
+    view-driven trajectory loop every sequential/simultaneous dynamic
+    shares; an MWU regret-learning baseline.
 ``repro.design``
     The dynamic reward design mechanism (Section 5) with cost
     accounting and naive single-shot baselines.

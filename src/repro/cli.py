@@ -23,52 +23,10 @@ Commands
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 from typing import List, Optional
 
-from repro.experiments import ALL_EXPERIMENTS
-
-_DESCRIPTIONS = {
-    "E1": "Figure 1: BTC→BCH hashrate migration (game + chain layers)",
-    "E2": "Theorem 1: better-response learning always converges",
-    "E3": "Proposition 1: no exact potential (cycle defect 2/3)",
-    "E4": "Ordinal potential strictly increases on every step",
-    "E5": "Observation 3 / Claim 4: equilibria are globally optimal",
-    "E6": "Proposition 2: a better equilibrium usually exists",
-    "E7": "Algorithm 2: reward design moves s0 → sf, any learner",
-    "E8": "Manipulation economics: bounded cost, indefinite gain",
-    "E9": "Discussion: convergence speed by learning process",
-    "E10": "Discussion: dominance attacks + staged-vs-naive ablation",
-    "E11": "Extension: asymmetric (hardware-restricted) mining",
-    "E12": "Extension: simultaneous moves cycle; inertia fixes it",
-    "E13": "Extension: equilibrium basins + manipulation planner",
-    "E14": "Extension: exact worst-case learning time (DAG view)",
-    "E15": "Extension: noisy sampled learning vs. Theorem 1's prediction",
-    "E16": "Extension: realized-reward risk at/off equilibrium",
-}
-
-_FAST_PARAMS = {
-    "E1": dict(horizon_h=160, resolution_h=8, tail_miners=8, chain_miners=12,
-               chain_horizon_h=24),
-    "E2": dict(miner_counts=(5, 10), coin_counts=(2,), runs_per_cell=3),
-    "E3": dict(random_games=5),
-    "E4": dict(games=3, miners=6, coins=3, starts_per_game=2),
-    "E5": dict(games=5, miners=6, coins=2),
-    "E6": dict(games=6, miners=6, coins=2),
-    "E7": dict(miner_counts=(4, 6), coins=2, pairs_per_size=2),
-    "E8": dict(games=4, miners=6, coins=2),
-    "E9": dict(miners=10, coins=3, runs=4, mwu_rounds=80),
-    "E10": dict(games=4, miners=6, coins=2, naive_trials_per_pair=2),
-    "E11": dict(games=4, miners=8, coins=4, starts_per_game=3),
-    "E12": dict(games=4, miners=6, coins=3, starts=6),
-    "E13": dict(games=3, miners=6, coins=2, samples=20),
-    "E14": dict(games=4, miners=4, coins=2, empirical_runs=10),
-    "E15": dict(games=1, miners=5, coins=2, budgets=(1, 16, 128), replications=12,
-                max_activations=1500),
-    "E16": dict(miners=5, coins=2, horizon_rounds=400, replications=12,
-                reconcile_horizon_h=120.0),
-}
+from repro.experiments import EXPERIMENTS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,7 +39,7 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list available experiments")
 
     run = subparsers.add_parser("run", help="run one experiment")
-    run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS, key=_experiment_key))
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS, key=_experiment_key))
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--fast", action="store_true", help="shrunken workload")
     run.add_argument(
@@ -139,8 +97,8 @@ def _experiment_key(name: str) -> int:
 
 
 def _cmd_list(out) -> int:
-    for name in sorted(ALL_EXPERIMENTS, key=_experiment_key):
-        out.write(f"{name:>4}  {_DESCRIPTIONS[name]}\n")
+    for name in sorted(EXPERIMENTS, key=_experiment_key):
+        out.write(f"{name:>4}  {EXPERIMENTS[name].description}\n")
     return 0
 
 
@@ -152,18 +110,22 @@ def _cmd_run(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
 ) -> int:
-    params = dict(_FAST_PARAMS[name]) if fast else {}
+    spec = EXPERIMENTS[name]
+    params = dict(spec.fast_params) if fast else {}
     params["seed"] = seed
-    # Only forward knobs the runner's signature accepts; the CLI stays
-    # uniform while experiments adopt backend/workers incrementally.
-    accepted = inspect.signature(ALL_EXPERIMENTS[name]).parameters
-    for knob, value in (("backend", backend), ("workers", workers)):
+    # Forward only the knobs the experiment declares it accepts; the
+    # CLI stays uniform while experiments adopt backend/workers
+    # incrementally.
+    for knob, value, accepted in (
+        ("backend", backend, spec.accepts_backend),
+        ("workers", workers, spec.accepts_workers),
+    ):
         if value is not None:
-            if knob not in accepted:
+            if not accepted:
                 out.write(f"note: {name} does not take --{knob}; ignoring\n")
             else:
                 params[knob] = value
-    result = ALL_EXPERIMENTS[name](**params)
+    result = spec.run(**params)
     out.write(result.render() + "\n")
     out.write(f"\nmetrics: {result.metrics}\n")
     return 0
@@ -250,7 +212,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         )
     if args.command == "all":
         code = 0
-        for name in sorted(ALL_EXPERIMENTS, key=_experiment_key):
+        for name in sorted(EXPERIMENTS, key=_experiment_key):
             out.write(f"\n=== {name} ===\n")
             code = max(code, _cmd_run(name, args.seed, args.fast, out))
         return code

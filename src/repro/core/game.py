@@ -187,8 +187,22 @@ class Game:
         return miner.power * self._rewards[coin] / power_on_target
 
     def payoff_vector(self, config: Configuration) -> Dict[Miner, Fraction]:
-        """All miners' payoffs keyed by miner."""
-        return {miner: self.payoff(miner, config) for miner in self._miners}
+        """All miners' payoffs keyed by miner.
+
+        One power pass and one RPU division per *coin*, then one
+        multiplication per miner — O(n + k) Fraction ops instead of the
+        O(n²) of calling :meth:`payoff` per miner (each of which
+        re-derives its coin's power).
+        """
+        powers = self.coin_power_map(config)
+        rpu = {
+            coin: self._rewards[coin] / mass
+            for coin, mass in powers.items()
+            if mass != 0
+        }
+        return {
+            miner: miner.power * rpu[config.coin_of(miner)] for miner in self._miners
+        }
 
     def social_welfare(self, config: Configuration) -> Fraction:
         """``Σ_p u_p(s)`` — equals ``Σ_c F(c)`` over occupied coins."""

@@ -34,6 +34,12 @@ class Miner:
             object.__setattr__(self, "power", to_positive_fraction(self.power, name="power"))
         elif self.power <= 0:
             raise InvalidModelError(f"miner {self.name!r} must have positive power, got {self.power}")
+        # Cached: Fraction.__hash__ performs a modular pow, and miners
+        # key every hot dict (kernel index maps, configurations).
+        object.__setattr__(self, "_hash", hash((self.name, self.power)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @classmethod
     def of(cls, name: str, power: Number) -> "Miner":

@@ -1,9 +1,17 @@
-"""The E1–E10 experiment runners (one per paper table/figure).
+"""The E1–E16 experiment runners (one per paper table/figure).
 
-Each module exposes ``run(**params) -> ExperimentResult``; the
-``benchmarks/`` directory wraps these in pytest-benchmark targets and
-prints the tables EXPERIMENTS.md records.
+Each module exposes ``run(**params) -> ExperimentResult`` plus its own
+metadata — ``DESCRIPTION``, the ``--fast`` parameter set
+(``FAST_PARAMS``) and declared CLI knob capabilities
+(``ACCEPTS_BACKEND`` / ``ACCEPTS_WORKERS``). The :data:`EXPERIMENTS`
+registry collects that metadata into :class:`ExperimentSpec` records so
+the CLI (and the ``benchmarks/`` harness) never re-derive it from
+signatures or parallel dicts.
 """
+
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable, Dict, Mapping
 
 from repro.experiments import (
     e01_migration,
@@ -25,27 +33,63 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult
 
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment's runner plus the metadata its module declares."""
+
+    name: str
+    run: Callable[..., ExperimentResult]
+    description: str
+    #: The shrunken parameter set behind the CLI's ``--fast`` flag.
+    fast_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Whether ``run`` takes a ``backend=`` / ``workers=`` knob. The
+    #: CLI forwards the flags only where declared — no signature
+    #: inspection.
+    accepts_backend: bool = False
+    accepts_workers: bool = False
+
+
+def _spec(name: str, module: ModuleType) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        run=module.run,
+        description=module.DESCRIPTION,
+        fast_params=dict(module.FAST_PARAMS),
+        accepts_backend=getattr(module, "ACCEPTS_BACKEND", False),
+        accepts_workers=getattr(module, "ACCEPTS_WORKERS", False),
+    )
+
+
 #: E1–E10 reproduce the paper's artifacts; E11–E16 execute its
 #: discussion/future-work directions (asymmetric mining, simultaneous
 #: dynamics, basin analysis + manipulation planning, noisy sampled
 #: learning, realized-reward risk).
-ALL_EXPERIMENTS = {
-    "E1": e01_migration.run,
-    "E2": e02_convergence.run,
-    "E3": e03_no_exact_potential.run,
-    "E4": e04_potential_monotonicity.run,
-    "E5": e05_welfare.run,
-    "E6": e06_better_equilibrium.run,
-    "E7": e07_reward_design.run,
-    "E8": e08_design_cost.run,
-    "E9": e09_learning_speed.run,
-    "E10": e10_security_ablation.run,
-    "E11": e11_asymmetric.run,
-    "E12": e12_simultaneous.run,
-    "E13": e13_basins.run,
-    "E14": e14_exact_paths.run,
-    "E15": e15_noisy_convergence.run,
-    "E16": e16_risk.run,
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec("E1", e01_migration),
+        _spec("E2", e02_convergence),
+        _spec("E3", e03_no_exact_potential),
+        _spec("E4", e04_potential_monotonicity),
+        _spec("E5", e05_welfare),
+        _spec("E6", e06_better_equilibrium),
+        _spec("E7", e07_reward_design),
+        _spec("E8", e08_design_cost),
+        _spec("E9", e09_learning_speed),
+        _spec("E10", e10_security_ablation),
+        _spec("E11", e11_asymmetric),
+        _spec("E12", e12_simultaneous),
+        _spec("E13", e13_basins),
+        _spec("E14", e14_exact_paths),
+        _spec("E15", e15_noisy_convergence),
+        _spec("E16", e16_risk),
+    )
 }
 
-__all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]
+#: Back-compat name → runner map (the registry's ``run`` column).
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    name: spec.run for name, spec in EXPERIMENTS.items()
+}
+
+__all__ = ["ALL_EXPERIMENTS", "EXPERIMENTS", "ExperimentResult", "ExperimentSpec"]

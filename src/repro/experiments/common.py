@@ -1,9 +1,12 @@
-"""Shared scaffolding for the E1–E10 experiment runners.
+"""Shared scaffolding for the E1–E16 experiment runners.
 
 Each experiment module exposes ``run(...) -> ExperimentResult`` with
-keyword parameters sized so the default run finishes in seconds. The
-result couples the printable table (what EXPERIMENTS.md records) with a
-metrics dict (what tests and benchmarks assert on).
+keyword parameters sized so the default run finishes in seconds, plus
+registry metadata — ``DESCRIPTION``, ``FAST_PARAMS`` and declared
+``ACCEPTS_BACKEND``/``ACCEPTS_WORKERS`` capabilities, collected by
+:data:`repro.experiments.EXPERIMENTS`. The result couples the
+printable table (what EXPERIMENTS.md records) with a metrics dict
+(what tests and benchmarks assert on).
 
 Learning-heavy runners additionally take ``backend=`` (``"fast"``
 integer kernel — the default — or ``"exact"`` Fractions; identical

@@ -25,6 +25,14 @@ from repro.util.rng import make_rng
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Figure 1: BTC→BCH hashrate migration (game + chain layers)"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(horizon_h=160, resolution_h=8, tail_miners=8, chain_miners=12,
+    chain_horizon_h=24)
+
+
 def run(
     *,
     horizon_h: float = 240.0,

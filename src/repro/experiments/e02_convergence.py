@@ -22,6 +22,18 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Theorem 1: better-response learning always converges"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(miner_counts=(5, 10), coin_counts=(2,), runs_per_cell=3)
+
+#: Declared CLI knob capabilities (the registry forwards
+#: ``--backend``/``--workers`` only where declared).
+ACCEPTS_BACKEND = True
+ACCEPTS_WORKERS = True
+
+
 def run(
     *,
     miner_counts: Sequence[int] = (5, 10, 25, 50, 100),

@@ -24,6 +24,17 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Proposition 1: no exact potential (cycle defect 2/3)"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(random_games=5)
+
+#: Declared CLI knob capabilities (the registry forwards
+#: ``--backend``/``--workers`` only where declared).
+ACCEPTS_BACKEND = True
+
+
 def run(
     *,
     random_games: int = 20,

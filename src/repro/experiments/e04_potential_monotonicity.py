@@ -69,6 +69,13 @@ def _audit_all_edges(game) -> tuple:
     return edges, violations
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Ordinal potential strictly increases on every step"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=3, miners=6, coins=3, starts_per_game=2)
+
+
 def run(
     *,
     games: int = 10,

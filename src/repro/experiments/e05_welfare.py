@@ -21,6 +21,13 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Observation 3 / Claim 4: equilibria are globally optimal"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=5, miners=6, coins=2)
+
+
 def run(
     *,
     games: int = 15,

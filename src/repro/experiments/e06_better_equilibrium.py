@@ -20,6 +20,13 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Proposition 2: a better equilibrium usually exists"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=6, miners=6, coins=2)
+
+
 def run(
     *,
     games: int = 20,

@@ -36,6 +36,13 @@ def _two_equilibria(game, rng):
     return None
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Algorithm 2: reward design moves s0 → sf, any learner"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(miner_counts=(4, 6), coins=2, pairs_per_size=2)
+
+
 def run(
     *,
     miner_counts: Sequence[int] = (4, 6, 8, 12),

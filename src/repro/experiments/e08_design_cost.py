@@ -25,6 +25,13 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Manipulation economics: bounded cost, indefinite gain"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=4, miners=6, coins=2)
+
+
 def run(
     *,
     games: int = 8,

@@ -30,6 +30,18 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Discussion: convergence speed by learning process"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(miners=10, coins=3, runs=4, mwu_rounds=80)
+
+#: Declared CLI knob capabilities (the registry forwards
+#: ``--backend``/``--workers`` only where declared).
+ACCEPTS_BACKEND = True
+ACCEPTS_WORKERS = True
+
+
 def run(
     *,
     miners: int = 20,

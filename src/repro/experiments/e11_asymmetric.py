@@ -33,6 +33,13 @@ def _hardware_split(game, rng, scrypt_fraction=0.4):
     return coin_algorithms, miner_hardware
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Extension: asymmetric (hardware-restricted) mining"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=4, miners=8, coins=4, starts_per_game=3)
+
+
 def run(
     *,
     games: int = 10,

@@ -18,6 +18,13 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Extension: simultaneous moves cycle; inertia fixes it"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=4, miners=6, coins=3, starts=6)
+
+
 def run(
     *,
     games: int = 8,

@@ -18,6 +18,17 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Extension: equilibrium basins + manipulation planner"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=3, miners=6, coins=2, samples=20)
+
+#: Declared CLI knob capabilities (the registry forwards
+#: ``--backend``/``--workers`` only where declared).
+ACCEPTS_BACKEND = True
+
+
 def run(
     *,
     games: int = 6,

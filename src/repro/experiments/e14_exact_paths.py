@@ -29,6 +29,17 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Extension: exact worst-case learning time (DAG view)"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=4, miners=4, coins=2, empirical_runs=10)
+
+#: Declared CLI knob capabilities (the registry forwards
+#: ``--backend``/``--workers`` only where declared).
+ACCEPTS_BACKEND = True
+
+
 def run(
     *,
     games: int = 8,

@@ -22,6 +22,18 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Extension: noisy sampled learning vs. Theorem 1's prediction"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(games=1, miners=5, coins=2, budgets=(1, 16, 128), replications=12,
+    max_activations=1500)
+
+#: Declared CLI knob capabilities (the registry forwards
+#: ``--backend``/``--workers`` only where declared).
+ACCEPTS_WORKERS = True
+
+
 def run(
     *,
     games: int = 3,

@@ -21,6 +21,14 @@ from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
 
 
+#: One-line summary shown by ``python -m repro list``.
+DESCRIPTION = "Extension: realized-reward risk at/off equilibrium"
+
+#: The shrunken workload behind the CLI's ``--fast`` flag.
+FAST_PARAMS = dict(miners=5, coins=2, horizon_rounds=400, replications=12,
+    reconcile_horizon_h=120.0)
+
+
 def run(
     *,
     miners: int = 6,

@@ -7,8 +7,13 @@ The kernel is the performance seam of the library:
   better-response / stability query with integer cross-multiplication —
   bit-for-bit the decisions of the :class:`fractions.Fraction` core
   with none of its per-comparison allocation.
-* :mod:`repro.kernel.engine` hosts the fast trajectory loops used by
-  the learning engines when ``backend="fast"`` (the default).
+* :class:`~repro.kernel.engine.KernelView` is the integer
+  implementation of the strategy-view protocol
+  (:class:`repro.learning.view.GameView`): the single trajectory loop
+  in :mod:`repro.learning.engine` drives it when ``backend="fast"``
+  (the default) — for standard *and* custom policies/schedulers alike,
+  with per-coin integer masses maintained incrementally in O(1) per
+  step.
 * :class:`~repro.kernel.space.ConfigSpace` is the exact *enumeration*
   engine: base-``|C|`` integer configuration codes, Gray-code walks
   with O(1) mass updates, equal-power symmetry reduction, and flat
@@ -23,7 +28,7 @@ The kernel is the performance seam of the library:
 
 from repro.kernel.batch import BatchRunner, TrajectorySummary, run_trajectory_batch
 from repro.kernel.core import KernelGame
-from repro.kernel.engine import run_fast, run_restricted_fast, supports
+from repro.kernel.engine import KernelView
 from repro.kernel.space import ConfigSpace, DagReport
 
 __all__ = [
@@ -31,9 +36,7 @@ __all__ = [
     "ConfigSpace",
     "DagReport",
     "KernelGame",
+    "KernelView",
     "TrajectorySummary",
-    "run_fast",
-    "run_restricted_fast",
     "run_trajectory_batch",
-    "supports",
 ]

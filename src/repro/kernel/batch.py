@@ -13,6 +13,8 @@ same scheme :func:`repro.util.rng.spawn_rngs` uses — so the summaries
 are identical whether the batch runs serially, on threads, or across
 processes, and identical to a plain loop over
 :class:`~repro.learning.engine.LearningEngine` with the same seed.
+Workers drive the unified view-based trajectory loop, so batched
+*custom* policies/schedulers get the integer kernel too.
 """
 
 from __future__ import annotations

@@ -125,21 +125,41 @@ class KernelGame:
     # Index-level better-response structure (the hot path)
     # ------------------------------------------------------------------
 
-    def better_moves(self, i: int, assign: Sequence[int], mass: Sequence[int]) -> List[int]:
-        """Improving coin indices for miner *i*, in coin order."""
+    def better_moves(
+        self,
+        i: int,
+        assign: Sequence[int],
+        mass: Sequence[int],
+        within: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Improving coin indices for miner *i*, in coin order.
+
+        *within* restricts the candidate coins (ascending indices —
+        the restricted-game mask); ``None`` means all coins.
+        """
         cur = assign[i]
         reward_cur = self.rewards[cur]
         mass_cur = mass[cur]
         power = self.powers[i]
         rewards = self.rewards
+        candidates = range(self.n_coins) if within is None else within
         return [
             j
-            for j in range(self.n_coins)
+            for j in candidates
             if j != cur and rewards[j] * mass_cur > reward_cur * (mass[j] + power)
         ]
 
-    def unstable(self, assign: Sequence[int], mass: Sequence[int]) -> List[int]:
-        """Indices of miners with at least one improving move, in order."""
+    def unstable(
+        self,
+        assign: Sequence[int],
+        mass: Sequence[int],
+        allowed: Optional[Sequence[Sequence[int]]] = None,
+    ) -> List[int]:
+        """Indices of miners with at least one improving move, in order.
+
+        *allowed* is a per-miner candidate-coin mask (``allowed[i]`` in
+        ascending index order); ``None`` means unrestricted.
+        """
         rewards = self.rewards
         powers = self.powers
         result = []
@@ -148,21 +168,27 @@ class KernelGame:
             reward_cur = rewards[cur]
             mass_cur = mass[cur]
             power = powers[i]
-            for j in range(self.n_coins):
+            candidates = range(self.n_coins) if allowed is None else allowed[i]
+            for j in candidates:
                 if j != cur and rewards[j] * mass_cur > reward_cur * (mass[j] + power):
                     result.append(i)
                     break
         return result
 
     def best_response_idx(
-        self, i: int, assign: Sequence[int], mass: Sequence[int]
+        self,
+        i: int,
+        assign: Sequence[int],
+        mass: Sequence[int],
+        within: Optional[Sequence[int]] = None,
     ) -> Optional[int]:
         """The payoff-maximizing improving coin index, or ``None``.
 
         Mirrors :meth:`repro.core.game.Game.best_response`: scan coins
         in order, strict improvement over the best seen so far, start
         from the current payoff — so ties resolve to the earliest coin,
-        exactly like the Fraction core.
+        exactly like the Fraction core. *within* restricts the scanned
+        coins (ascending indices).
         """
         cur = assign[i]
         power = self.powers[i]
@@ -172,7 +198,8 @@ class KernelGame:
         best_reward = rewards[cur]
         best_den = mass[cur]
         best: Optional[int] = None
-        for j in range(self.n_coins):
+        candidates = range(self.n_coins) if within is None else within
+        for j in candidates:
             if j == cur:
                 continue
             den = mass[j] + power
@@ -182,21 +209,28 @@ class KernelGame:
                 best = j
         return best
 
-    def minimal_gain_idx(self, i: int, moves: Sequence[int], mass: Sequence[int]) -> int:
-        """The improving move with the smallest gain (ties: coin name).
+    def minimal_gain_idx(
+        self, i: int, moves: Sequence[int], mass: Sequence[int], cur: Optional[int] = None
+    ) -> int:
+        """The candidate move with the smallest post-move payoff (ties: name).
 
-        The gain ordering equals the post-move payoff ordering (the
-        current payoff is a common constant), so the comparison is the
-        same cross-multiplication with the opposite sense.
+        On improving moves the gain ordering equals the post-move
+        payoff ordering (the current payoff is a common constant), so
+        the comparison is the same cross-multiplication with the
+        opposite sense. Passing the miner's current coin index as
+        *cur* makes "moving" there cost nothing — its mass already
+        includes the miner — so arbitrary candidate lists (the view
+        selection helpers accept them) rank exactly like the Fraction
+        core.
         """
         power = self.powers[i]
         rewards = self.rewards
         names = self.coin_names
         best = moves[0]
         best_reward = rewards[best]
-        best_den = mass[best] + power
+        best_den = mass[best] if best == cur else mass[best] + power
         for j in moves[1:]:
-            den = mass[j] + power
+            den = mass[j] if j == cur else mass[j] + power
             lhs = rewards[j] * best_den
             rhs = best_reward * den
             if lhs < rhs or (lhs == rhs and names[j] < names[best]):
@@ -205,16 +239,21 @@ class KernelGame:
                 best_den = den
         return best
 
-    def max_rpu_idx(self, i: int, moves: Sequence[int], mass: Sequence[int]) -> int:
-        """The improving move with the highest post-move RPU (ties: name)."""
+    def max_rpu_idx(
+        self, i: int, moves: Sequence[int], mass: Sequence[int], cur: Optional[int] = None
+    ) -> int:
+        """The candidate move with the highest post-move RPU (ties: name).
+
+        *cur* as in :meth:`minimal_gain_idx`.
+        """
         power = self.powers[i]
         rewards = self.rewards
         names = self.coin_names
         best = moves[0]
         best_reward = rewards[best]
-        best_den = mass[best] + power
+        best_den = mass[best] if best == cur else mass[best] + power
         for j in moves[1:]:
-            den = mass[j] + power
+            den = mass[j] if j == cur else mass[j] + power
             lhs = rewards[j] * best_den
             rhs = best_reward * den
             if lhs > rhs or (lhs == rhs and names[j] > names[best]):

@@ -1,315 +1,184 @@
-"""Fast trajectory loops over :class:`~repro.kernel.core.KernelGame`.
+"""The integer fast-path view over :class:`~repro.kernel.core.KernelGame`.
 
-These are drop-in twins of the Fraction-based loops in
-:mod:`repro.learning.engine`, :mod:`repro.learning.restricted_engine`
-and :mod:`repro.learning.simultaneous`: same iteration order, same
-strict inequalities, same tie-breaks, and — crucially — the same RNG
-draws in the same sequence. Given the same seed, a fast run returns a
-:class:`~repro.learning.trajectory.Trajectory` equal step-for-step to
-the exact run's (the parity suite asserts this on randomized games).
+Before the strategy-view refactor this module held drop-in "twin"
+trajectory loops for every dynamic (sequential, restricted,
+simultaneous), hand-synchronized against the Fraction loops and gated
+by an exact-type dispatch table — custom strategy subclasses silently
+fell back to the slow exact path. All of that is gone: there is now one
+trajectory loop (:func:`repro.learning.engine.run_better_response`),
+written against the :class:`~repro.learning.view.GameView` protocol,
+and this module only supplies the protocol's fast implementation.
 
-Only the standard policies and schedulers have kernel translations;
-:func:`supports` reports whether a (policy, scheduler) pair does.
-Custom subclasses fall back to the exact Fraction loop, so the
-``backend="fast"`` default never changes semantics, only speed.
+:class:`KernelView` keeps the hot state as two plain integer lists —
+a coin index per miner and an incrementally maintained integer mass per
+coin (O(1) update per :meth:`~KernelView.apply`) — and answers every
+evaluation query through :class:`KernelGame`'s integer
+cross-multiplication. Decisions are bit-for-bit the Fraction core's,
+so *any* policy or scheduler (standard or custom subclass) runs on the
+fast backend with identical trajectories and RNG draws.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.core.coin import Coin
 from repro.core.configuration import Configuration
 from repro.core.game import Game
-from repro.exceptions import ConvergenceError
+from repro.core.miner import Miner
 from repro.kernel.core import KernelGame
-from repro.learning.policies import (
-    BestResponsePolicy,
-    BetterResponsePolicy,
-    EpsilonGreedyPolicy,
-    FirstImprovingPolicy,
-    MaxRpuPolicy,
-    MinimalGainPolicy,
-    RandomImprovingPolicy,
-)
-from repro.learning.schedulers import (
-    ActivationScheduler,
-    LargestFirstScheduler,
-    RoundRobinScheduler,
-    SmallestFirstScheduler,
-    UniformRandomScheduler,
-)
-from repro.learning.trajectory import Step, Trajectory
-
-#: Exact-type dispatch tables. Exact ``type() is`` matching on purpose:
-#: a subclass may override ``choose``/``pick``, in which case only the
-#: Fraction loop honors the override, so it must not take the fast path.
-_POLICY_KINDS = {
-    BestResponsePolicy: "best",
-    RandomImprovingPolicy: "random",
-    MinimalGainPolicy: "minimal",
-    FirstImprovingPolicy: "first",
-    MaxRpuPolicy: "max-rpu",
-    EpsilonGreedyPolicy: "epsilon",
-}
-
-_SCHEDULER_KINDS = {
-    UniformRandomScheduler: "uniform",
-    RoundRobinScheduler: "round-robin",
-    LargestFirstScheduler: "largest",
-    SmallestFirstScheduler: "smallest",
-}
+from repro.learning.view import GameView, _normalize_mask
 
 
-def supports(policy: BetterResponsePolicy, scheduler: ActivationScheduler) -> bool:
-    """Whether the kernel has exact translations for both strategies."""
-    return type(policy) in _POLICY_KINDS and type(scheduler) in _SCHEDULER_KINDS
+class KernelView(GameView):
+    """The ``backend="fast"`` implementation of :class:`GameView`.
 
+    State
+    -----
+    ``assign``
+        coin index per miner, aligned with ``game.miners`` order;
+    ``mass``
+        integer coin power per coin index (``M_c(s)`` kernel-scaled),
+        maintained incrementally — never re-derived from the
+        configuration.
 
-def _pick_index(
-    kind: str,
-    kernel: KernelGame,
-    unstable: List[int],
-    cursor: int,
-    rng: np.random.Generator,
-) -> Tuple[int, int]:
-    """Kernel twin of ``scheduler.pick``: (miner index, new cursor)."""
-    if kind == "uniform":
-        return unstable[int(rng.integers(0, len(unstable)))], cursor
-    if kind == "round-robin":
-        members = set(unstable)
-        n = kernel.n_miners
-        for offset in range(n):
-            candidate = (cursor + offset) % n
-            if candidate in members:
-                return candidate, (candidate + 1) % n
-        raise AssertionError("pick() called with no unstable miner; engine bug")
-    names = kernel.miner_names
-    powers = kernel.powers
-    best = unstable[0]
-    if kind == "largest":
-        for i in unstable[1:]:
-            if powers[i] > powers[best] or (powers[i] == powers[best] and names[i] > names[best]):
-                best = i
-    else:  # smallest
-        for i in unstable[1:]:
-            if powers[i] < powers[best] or (powers[i] == powers[best] and names[i] < names[best]):
-                best = i
-    return best, cursor
-
-
-def _choose_index(
-    kind: str,
-    epsilon: float,
-    kernel: KernelGame,
-    i: int,
-    assign: List[int],
-    mass: List[int],
-    rng: np.random.Generator,
-) -> Optional[int]:
-    """Kernel twin of ``policy.choose``: an improving coin index or None."""
-    if kind == "epsilon":
-        kind = "random" if rng.random() < epsilon else "best"
-    if kind == "best":
-        return kernel.best_response_idx(i, assign, mass)
-    moves = kernel.better_moves(i, assign, mass)
-    if not moves:
-        return None
-    if kind == "random":
-        return moves[int(rng.integers(0, len(moves)))]
-    if kind == "first":
-        return moves[0]
-    if kind == "minimal":
-        return kernel.minimal_gain_idx(i, moves, mass)
-    if kind == "max-rpu":
-        return kernel.max_rpu_idx(i, moves, mass)
-    raise AssertionError(f"policy kind {kind!r} registered but not dispatched")
-
-
-def run_fast(
-    game: Game,
-    initial: Configuration,
-    *,
-    policy: BetterResponsePolicy,
-    scheduler: ActivationScheduler,
-    rng: np.random.Generator,
-    max_steps: int,
-    record_configurations: bool,
-    raise_on_budget: bool,
-) -> Trajectory:
-    """Integer fast path of :meth:`repro.learning.engine.LearningEngine.run`.
-
-    Callers must have validated *initial* and checked :func:`supports`.
+    Both are exposed read-only-by-convention for index-level consumers
+    (the noisy sampling engine reads masses straight off the view).
+    Configurations are materialized lazily, aligned with the *initial*
+    configuration's miner order so they compare equal to the exact
+    backend's.
     """
-    kernel = KernelGame(game)
-    policy_kind = _POLICY_KINDS[type(policy)]
-    scheduler_kind = _SCHEDULER_KINDS[type(scheduler)]
-    epsilon = policy.epsilon if policy_kind == "epsilon" else 0.0
-    scheduler.reset()
 
-    miners = game.miners
-    coins = game.coins
-    powers = kernel.powers
-    assign = kernel.assignment_of(initial)
-    mass = kernel.mass_of(assign)
-    # Choices aligned with the *initial* configuration's miner order so
-    # materialized configurations compare equal to the exact backend's.
-    slot_of: Dict[int, int] = {}
-    initial_positions = {miner: pos for pos, miner in enumerate(initial.miners)}
-    for i, miner in enumerate(miners):
-        slot_of[i] = initial_positions[miner]
-    choices = list(initial.choices)
-
-    trajectory = Trajectory(configurations=[initial])
-    cursor = 0
-    for index in range(max_steps):
-        unstable = kernel.unstable(assign, mass)
-        if not unstable:
-            trajectory.converged = True
-            break
-        i, cursor = _pick_index(scheduler_kind, kernel, unstable, cursor, rng)
-        target = _choose_index(policy_kind, epsilon, kernel, i, assign, mass, rng)
-        if target is None:
-            raise ConvergenceError(
-                f"scheduler activated miner {miners[i].name!r} but the policy "
-                "found no improving move; scheduler/policy disagree on stability"
-            )
-        source = assign[i]
-        before = kernel.payoff_fraction(i, source, mass[source])
-        after = kernel.payoff_fraction(i, target, mass[target] + powers[i])
-        if after <= before:
-            raise ConvergenceError(
-                f"policy {policy.name!r} returned a non-improving move for "
-                f"{miners[i].name!r} ({before} → {after}); better-response contract violated"
-            )
-        assign[i] = target
-        mass[source] -= powers[i]
-        mass[target] += powers[i]
-        choices[slot_of[i]] = coins[target]
-        trajectory.steps.append(
-            Step(
-                index=index,
-                miner=miners[i],
-                source=coins[source],
-                target=coins[target],
-                payoff_before=before,
-                payoff_after=after,
-            )
-        )
-        if record_configurations:
-            trajectory.configurations.append(Configuration(initial.miners, choices))
-    else:
-        # Budget exhausted: mirror the exact engine's final stability check.
-        if not kernel.unstable(assign, mass):
-            trajectory.converged = True
-        elif raise_on_budget:
-            raise ConvergenceError(
-                f"better-response learning did not converge within {max_steps} steps"
-            )
-
-    if not record_configurations and trajectory.steps:
-        trajectory.configurations.append(Configuration(initial.miners, choices))
-    return trajectory
-
-
-# ----------------------------------------------------------------------
-# Restricted (asymmetric) games
-# ----------------------------------------------------------------------
-
-
-def run_restricted_fast(
-    restricted,
-    initial: Configuration,
-    *,
-    mode: str,
-    rng: np.random.Generator,
-    max_steps: int,
-) -> Trajectory:
-    """Integer fast path of :class:`RestrictedLearningEngine.run`.
-
-    *restricted* is a :class:`repro.core.restricted.RestrictedGame`;
-    imports are late/duck-typed to keep module dependencies one-way.
-    """
-    game = restricted.game
-    kernel = KernelGame(game)
-    miners = game.miners
-    coins = game.coins
-    powers = kernel.powers
-    rewards = kernel.rewards
-    allowed: List[Tuple[int, ...]] = [
-        tuple(
-            j
-            for j in range(kernel.n_coins)
-            if restricted.is_allowed(miner, coins[j])
-        )
-        for miner in miners
-    ]
-
-    assign = kernel.assignment_of(initial)
-    mass = kernel.mass_of(assign)
-    initial_positions = {miner: pos for pos, miner in enumerate(initial.miners)}
-    slot_of = {i: initial_positions[miner] for i, miner in enumerate(miners)}
-    choices = list(initial.choices)
-
-    def legal_moves(i: int) -> List[int]:
-        cur = assign[i]
-        reward_cur = rewards[cur]
-        mass_cur = mass[cur]
-        power = powers[i]
-        return [
-            j
-            for j in allowed[i]
-            if j != cur and rewards[j] * mass_cur > reward_cur * (mass[j] + power)
-        ]
-
-    trajectory = Trajectory(configurations=[initial])
-    for index in range(max_steps):
-        unstable = [i for i in range(kernel.n_miners) if legal_moves(i)]
-        if not unstable:
-            trajectory.converged = True
-            return trajectory
-        i = unstable[int(rng.integers(0, len(unstable)))]
-        moves = legal_moves(i)
-        if mode == "random":
-            target = moves[int(rng.integers(0, len(moves)))]
-        elif mode == "best":
-            # max by (post-move payoff, name) — the same ordering as the
-            # max-RPU selection, since payoff = power · RPU.
-            target = kernel.max_rpu_idx(i, moves, mass)
-        else:  # minimal
-            target = kernel.minimal_gain_idx(i, moves, mass)
-        source = assign[i]
-        before = kernel.payoff_fraction(i, source, mass[source])
-        after = kernel.payoff_fraction(i, target, mass[target] + powers[i])
-        if after <= before:
-            raise ConvergenceError("restricted engine produced a non-improving step; bug")
-        assign[i] = target
-        mass[source] -= powers[i]
-        mass[target] += powers[i]
-        choices[slot_of[i]] = coins[target]
-        trajectory.steps.append(
-            Step(
-                index=index,
-                miner=miners[i],
-                source=coins[source],
-                target=coins[target],
-                payoff_before=before,
-                payoff_after=after,
-            )
-        )
-        trajectory.configurations.append(Configuration(initial.miners, choices))
-    if not any(legal_moves(i) for i in range(kernel.n_miners)):
-        trajectory.converged = True
-        return trajectory
-    raise ConvergenceError(
-        f"restricted learning did not converge within {max_steps} steps"
+    __slots__ = (
+        "game",
+        "kernel",
+        "assign",
+        "mass",
+        "_allowed_idx",
+        "_slot_of",
+        "_choices",
+        "_config_miners",
+        "_config",
     )
 
+    def __init__(
+        self,
+        game: Game,
+        initial: Configuration,
+        *,
+        allowed: Optional[Mapping[Miner, Sequence[Coin]]] = None,
+        kernel: Optional[KernelGame] = None,
+    ):
+        self.game = game
+        self.kernel = kernel if kernel is not None else KernelGame(game)
+        self.assign: List[int] = self.kernel.assignment_of(initial)
+        self.mass: List[int] = self.kernel.mass_of(self.assign)
+        mask = _normalize_mask(game, allowed)
+        if mask is None:
+            self._allowed_idx: Optional[Tuple[Tuple[int, ...], ...]] = None
+        else:
+            coin_index = self.kernel.coin_index
+            self._allowed_idx = tuple(
+                tuple(coin_index[coin] for coin in mask[miner]) for miner in game.miners
+            )
+        # Choice slots aligned with the *initial* configuration's miner
+        # order so materialized configurations compare equal to the
+        # exact backend's (Configuration equality is order-strict).
+        positions = {miner: pos for pos, miner in enumerate(initial.miners)}
+        self._slot_of: Dict[int, int] = {
+            i: positions[miner] for i, miner in enumerate(game.miners)
+        }
+        self._choices: List[Coin] = list(initial.choices)
+        self._config_miners: Tuple[Miner, ...] = initial.miners
+        self._config: Optional[Configuration] = initial
 
-__all__ = [
-    "KernelGame",
-    "run_fast",
-    "run_restricted_fast",
-    "supports",
-]
+    # -- structure -----------------------------------------------------
+
+    def allowed_coins(self, miner: Miner) -> Tuple[Coin, ...]:
+        if self._allowed_idx is None:
+            return self.game.coins
+        coins = self.game.coins
+        return tuple(coins[j] for j in self._allowed_idx[self.kernel.miner_index[miner]])
+
+    def coin_of(self, miner: Miner) -> Coin:
+        return self.game.coins[self.assign[self.kernel.miner_index[miner]]]
+
+    def _within(self, i: int) -> Optional[Tuple[int, ...]]:
+        return None if self._allowed_idx is None else self._allowed_idx[i]
+
+    # -- evaluation ----------------------------------------------------
+
+    def payoff(self, miner: Miner) -> Fraction:
+        i = self.kernel.miner_index[miner]
+        j = self.assign[i]
+        return self.kernel.payoff_fraction(i, j, self.mass[j])
+
+    def payoff_after_move(self, miner: Miner, coin: Coin) -> Fraction:
+        i = self.kernel.miner_index[miner]
+        j = self.kernel.coin_index[coin]
+        if j == self.assign[i]:
+            return self.kernel.payoff_fraction(i, j, self.mass[j])
+        return self.kernel.payoff_fraction(i, j, self.mass[j] + self.kernel.powers[i])
+
+    def improving_moves(self, miner: Miner) -> Tuple[Coin, ...]:
+        i = self.kernel.miner_index[miner]
+        coins = self.game.coins
+        moves = self.kernel.better_moves(i, self.assign, self.mass, self._within(i))
+        return tuple(coins[j] for j in moves)
+
+    def best_response(self, miner: Miner) -> Optional[Coin]:
+        i = self.kernel.miner_index[miner]
+        j = self.kernel.best_response_idx(i, self.assign, self.mass, self._within(i))
+        return None if j is None else self.game.coins[j]
+
+    def unstable_miners(self) -> Tuple[Miner, ...]:
+        miners = self.game.miners
+        unstable = self.kernel.unstable(self.assign, self.mass, self._allowed_idx)
+        return tuple(miners[i] for i in unstable)
+
+    def is_stable(self) -> bool:
+        return not self.kernel.unstable(self.assign, self.mass, self._allowed_idx)
+
+    # -- selection helpers ---------------------------------------------
+
+    def minimal_gain_move(self, miner: Miner, moves: Sequence[Coin]) -> Coin:
+        i = self.kernel.miner_index[miner]
+        coin_index = self.kernel.coin_index
+        j = self.kernel.minimal_gain_idx(
+            i, [coin_index[c] for c in moves], self.mass, self.assign[i]
+        )
+        return self.game.coins[j]
+
+    def max_rpu_move(self, miner: Miner, moves: Sequence[Coin]) -> Coin:
+        i = self.kernel.miner_index[miner]
+        coin_index = self.kernel.coin_index
+        j = self.kernel.max_rpu_idx(
+            i, [coin_index[c] for c in moves], self.mass, self.assign[i]
+        )
+        return self.game.coins[j]
+
+    # -- state ---------------------------------------------------------
+
+    def apply(self, miner: Miner, coin: Coin) -> None:
+        self.apply_index(self.kernel.miner_index[miner], self.kernel.coin_index[coin])
+
+    def apply_index(self, i: int, j: int) -> None:
+        """Index-level :meth:`apply` — the O(1) hot-path entry point."""
+        power = self.kernel.powers[i]
+        self.mass[self.assign[i]] -= power
+        self.mass[j] += power
+        self.assign[i] = j
+        self._choices[self._slot_of[i]] = self.game.coins[j]
+        self._config = None
+
+    def configuration(self) -> Configuration:
+        if self._config is None:
+            self._config = Configuration(self._config_miners, self._choices)
+        return self._config
+
+    def __repr__(self) -> str:
+        return f"KernelView({self.game!r})"
+
+
+__all__ = ["KernelGame", "KernelView"]

@@ -1,6 +1,12 @@
-"""Better-response learning: policies × schedulers × engine (+ MWU baseline)."""
+"""Better-response learning: policies × schedulers × one view-driven engine (+ MWU baseline)."""
 
-from repro.learning.engine import DEFAULT_MAX_STEPS, LearningEngine, converge
+from repro.learning.engine import (
+    DEFAULT_MAX_STEPS,
+    LearningEngine,
+    converge,
+    run_better_response,
+)
+from repro.learning.view import ExactView, GameView, make_view
 from repro.learning.policies import (
     STANDARD_POLICIES,
     BestResponsePolicy,
@@ -30,8 +36,12 @@ from repro.learning.trajectory import Step, Trajectory
 
 __all__ = [
     "DEFAULT_MAX_STEPS",
+    "ExactView",
+    "GameView",
     "LearningEngine",
     "converge",
+    "make_view",
+    "run_better_response",
     "STANDARD_POLICIES",
     "BetterResponsePolicy",
     "BestResponsePolicy",

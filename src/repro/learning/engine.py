@@ -1,4 +1,4 @@
-"""The better-response learning engine.
+"""The better-response learning engine — one loop for every backend.
 
 Runs one improving path: repeatedly ask the scheduler *who* moves and
 the policy *where*, apply the step, and stop at a stable configuration.
@@ -7,17 +7,24 @@ engine enforces a step budget anyway so a buggy custom policy (one that
 returns non-improving moves) cannot loop forever — and it *verifies*
 the improvement contract on every step.
 
-Two numeric backends execute the loop:
+There is exactly one trajectory loop, :func:`run_better_response`,
+written against the :class:`~repro.learning.view.GameView` protocol.
+The ``backend`` knob selects which view drives it:
 
 ``"fast"`` (default)
-    The :mod:`repro.kernel` integer fast path: powers and rewards are
-    normalized to common integer denominators once, then every payoff
-    comparison is an integer cross-multiplication. Decision-for-decision
-    (and RNG-draw-for-RNG-draw) identical to ``"exact"``; used whenever
-    the policy/scheduler pair has a kernel translation.
+    :class:`~repro.kernel.engine.KernelView` — powers and rewards
+    normalized to common integer denominators once, every payoff
+    comparison an integer cross-multiplication, per-coin masses
+    maintained incrementally in O(1) per step. Decision-for-decision
+    (and RNG-draw-for-draw) identical to ``"exact"`` for every
+    strategy, custom subclasses included.
 ``"exact"``
-    The original :class:`fractions.Fraction` loop. Kept for audits and
-    as the automatic fallback for custom policies or schedulers.
+    :class:`~repro.learning.view.ExactView` — the original
+    :class:`fractions.Fraction` arithmetic. Kept for audits.
+
+The restricted engine, the simultaneous dynamic and the noisy sampled
+learner all run over the same views, so the restriction mask, the
+integer fast path and incremental state maintenance exist in one place.
 """
 
 from __future__ import annotations
@@ -25,19 +32,93 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.exceptions import ConvergenceError
-from repro.kernel import engine as kernel_engine
 from repro.learning.policies import BetterResponsePolicy, RandomImprovingPolicy
 from repro.learning.schedulers import ActivationScheduler, UniformRandomScheduler
 from repro.learning.trajectory import Step, Trajectory
+from repro.learning.view import GameView, make_view
 from repro.util.rng import RngLike, make_rng
 
 #: Default per-run step budget. Theorem 1 guarantees finite convergence,
 #: but the bound is the potential's range; this default is generous for
 #: the game sizes the experiments use.
 DEFAULT_MAX_STEPS = 1_000_000
+
+
+def run_better_response(
+    view: GameView,
+    policy: BetterResponsePolicy,
+    scheduler: ActivationScheduler,
+    rng: np.random.Generator,
+    *,
+    max_steps: int,
+    record_configurations: bool = True,
+    raise_on_budget: bool = True,
+    what: str = "better-response learning",
+) -> Trajectory:
+    """The shared trajectory stepper: one improving path over *view*.
+
+    Strategy-agnostic and backend-agnostic — the view answers every
+    evaluation query, the policy/scheduler (resolved once to their
+    most-derived overrides) make every decision, and the loop verifies
+    the better-response contract on each step. All sequential dynamics
+    (:class:`LearningEngine`,
+    :class:`~repro.learning.restricted_engine.RestrictedLearningEngine`)
+    are thin wrappers over this function.
+    """
+    choose = policy.view_chooser()
+    pick = scheduler.view_picker()
+    scheduler.reset()
+
+    trajectory = Trajectory(configurations=[view.configuration()])
+    for index in range(max_steps):
+        unstable = view.unstable_miners()
+        if not unstable:
+            trajectory.converged = True
+            break
+        miner = pick(view, unstable, rng)
+        target = choose(view, miner, rng)
+        if target is None:
+            raise ConvergenceError(
+                f"scheduler activated miner {miner.name!r} but the policy "
+                "found no improving move; scheduler/policy disagree on stability"
+            )
+        before = view.payoff(miner)
+        after = view.payoff_after_move(miner, target)
+        if after <= before:
+            raise ConvergenceError(
+                f"policy {policy.name!r} returned a non-improving move for "
+                f"{miner.name!r} ({before} → {after}); better-response contract violated"
+            )
+        source = view.coin_of(miner)
+        view.apply(miner, target)
+        trajectory.steps.append(
+            Step(
+                index=index,
+                miner=miner,
+                source=source,
+                target=target,
+                payoff_before=before,
+                payoff_after=after,
+            )
+        )
+        if record_configurations:
+            trajectory.configurations.append(view.configuration())
+    else:
+        # Budget exhausted: the final state may still happen to be stable.
+        if view.is_stable():
+            trajectory.converged = True
+        elif raise_on_budget:
+            raise ConvergenceError(
+                f"{what} did not converge within {max_steps} steps"
+            )
+    if not record_configurations and trajectory.steps:
+        trajectory.configurations.append(view.configuration())
+    return trajectory
 
 
 @dataclass
@@ -58,8 +139,9 @@ class LearningEngine:
         Keep every intermediate configuration (needed by potential
         audits; costs memory on long runs).
     backend:
-        ``"fast"`` (integer kernel, default) or ``"exact"``
-        (Fraction loop). The two produce identical trajectories; see
+        ``"fast"`` (integer kernel view, default) or ``"exact"``
+        (Fraction view). The two produce identical trajectories for
+        every policy/scheduler — including custom subclasses; see
         the module docstring.
     """
 
@@ -98,70 +180,16 @@ class LearningEngine:
         policy = self.policy
         scheduler = self.scheduler
         assert policy is not None and scheduler is not None  # set in __post_init__
-        if self.backend == "fast" and kernel_engine.supports(policy, scheduler):
-            return kernel_engine.run_fast(
-                game,
-                initial,
-                policy=policy,
-                scheduler=scheduler,
-                rng=rng,
-                max_steps=self.max_steps,
-                record_configurations=self.record_configurations,
-                raise_on_budget=self.raise_on_budget,
-            )
-        scheduler.reset()
-
-        trajectory = Trajectory(configurations=[initial])
-        config = initial
-        # Incrementally maintained {coin: M_c(s)} map; keeps the
-        # per-step stability scan at O(n·k) instead of O(n²·k).
-        powers = game.coin_power_map(config)
-        for index in range(self.max_steps):
-            unstable = game.unstable_miners_given(config, powers)
-            if not unstable:
-                trajectory.converged = True
-                return trajectory
-            miner = scheduler.pick(game, config, unstable, rng)
-            target = policy.choose(game, config, miner, rng)
-            if target is None:
-                raise ConvergenceError(
-                    f"scheduler activated miner {miner.name!r} but the policy "
-                    "found no improving move; scheduler/policy disagree on stability"
-                )
-            before = game.payoff(miner, config)
-            after = game.payoff_after_move(miner, target, config)
-            if after <= before:
-                raise ConvergenceError(
-                    f"policy {policy.name!r} returned a non-improving move for "
-                    f"{miner.name!r} ({before} → {after}); better-response contract violated"
-                )
-            source = config.coin_of(miner)
-            config = config.move(miner, target)
-            powers[source] -= miner.power
-            powers[target] += miner.power
-            trajectory.steps.append(
-                Step(
-                    index=index,
-                    miner=miner,
-                    source=source,
-                    target=target,
-                    payoff_before=before,
-                    payoff_after=after,
-                )
-            )
-            if self.record_configurations or len(trajectory.configurations) == 1:
-                trajectory.configurations.append(config)
-            else:
-                trajectory.configurations[-1] = config
-
-        if game.is_stable(config):
-            trajectory.converged = True
-            return trajectory
-        if self.raise_on_budget:
-            raise ConvergenceError(
-                f"better-response learning did not converge within {self.max_steps} steps"
-            )
-        return trajectory
+        view = make_view(game, initial, backend=self.backend)
+        return run_better_response(
+            view,
+            policy,
+            scheduler,
+            rng,
+            max_steps=self.max_steps,
+            record_configurations=self.record_configurations,
+            raise_on_budget=self.raise_on_budget,
+        )
 
 
 def converge(

@@ -1,0 +1,61 @@
+"""Reference custom strategies written against the strategy-view API.
+
+These are the README's "Writing custom strategies" examples, shipped as
+importable code so the parity suite (``tests/test_view_parity.py``) and
+the benchmark harness (``benchmarks/bench_engine.py``) exercise the
+*same* strategies they document: a custom policy/scheduler pair that
+runs on the integer kernel (``backend="fast"``) bit-identical to the
+Fraction backend — the guarantee the view protocol exists to provide.
+"""
+
+from __future__ import annotations
+
+from repro.learning.policies import BetterResponsePolicy
+from repro.learning.schedulers import ActivationScheduler
+
+
+class SecondBestPolicy(BetterResponsePolicy):
+    """Take the second-best improving move — a cautious learner.
+
+    Demonstrates view-based selection with exact payoff comparisons:
+    ``improving_moves`` + ``payoff_after_move`` answer identically on
+    both backends, so the ranking (and therefore the trajectory) does
+    too.
+    """
+
+    name = "second-best"
+
+    def choose_view(self, view, miner, rng):
+        moves = view.improving_moves(miner)
+        if not moves:
+            return None
+        if len(moves) == 1:
+            return moves[0]
+        ranked = sorted(
+            moves, key=lambda coin: (view.payoff_after_move(miner, coin), coin.name)
+        )
+        return ranked[-2]
+
+
+class PowerWeightedScheduler(ActivationScheduler):
+    """Activate unstable miners with probability proportional to power.
+
+    Demonstrates a custom RNG-consuming scheduler: the float weights
+    are derived from the same exact powers on both backends, so the
+    draw sequence — and hence every later decision — stays identical.
+    """
+
+    name = "power-weighted"
+
+    def pick_view(self, view, unstable, rng):
+        weights = [float(miner.power) for miner in unstable]
+        threshold = rng.random() * sum(weights)
+        acc = 0.0
+        for miner, weight in zip(unstable, weights):
+            acc += weight
+            if threshold <= acc:
+                return miner
+        return unstable[-1]
+
+
+__all__ = ["PowerWeightedScheduler", "SecondBestPolicy"]

@@ -6,6 +6,24 @@ A policy is the "where" half of that arbitrariness: given a miner with
 at least one improving move, it picks one. The "who moves" half lives in
 :mod:`repro.learning.schedulers`.
 
+Policies are written against the strategy-view API
+(:class:`~repro.learning.view.GameView`): override
+
+    ``choose_view(self, view, miner, rng) -> Optional[Coin]``
+
+and query the view (``view.improving_moves(miner)``,
+``view.payoff_after_move(miner, coin)``, …). Because the view protocol
+answers identically on both numeric backends, a policy written this way
+runs on the integer kernel (``backend="fast"``) with trajectories and
+RNG draws bit-identical to the Fraction backend — custom subclasses
+included; there is no slow-path fallback anymore.
+
+The pre-view signature ``choose(self, game, config, miner, rng)`` keeps
+working: subclasses that override it are driven through a thin adapter
+that materializes the view's configuration each step (exact semantics,
+still kernel-backed stability scans). Override whichever is
+convenient; the engine always honors the most-derived one.
+
 Every policy must return an *improving* coin (or ``None`` when the
 miner is stable); the learning engine verifies this contract, so a
 buggy custom policy fails loudly instead of corrupting convergence
@@ -15,7 +33,7 @@ measurements.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -23,15 +41,24 @@ from repro.core.coin import Coin
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
+from repro.learning.view import ExactView, GameView
+
+#: Engine-facing callable driving one policy decision on a view.
+ViewChooser = Callable[[GameView, Miner, np.random.Generator], Optional[Coin]]
 
 
 class BetterResponsePolicy(abc.ABC):
-    """Strategy interface: choose an improving coin for an active miner."""
+    """Strategy interface: choose an improving coin for an active miner.
+
+    Subclasses override :meth:`choose_view` (preferred — runs natively
+    on both backends) or the legacy :meth:`choose`; each default
+    implementation delegates to the other, so either override serves
+    both entry points.
+    """
 
     #: Short name used in experiment tables.
     name: str = "abstract"
 
-    @abc.abstractmethod
     def choose(
         self,
         game: Game,
@@ -39,7 +66,55 @@ class BetterResponsePolicy(abc.ABC):
         miner: Miner,
         rng: np.random.Generator,
     ) -> Optional[Coin]:
-        """An improving coin for *miner*, or ``None`` if it has none."""
+        """An improving coin for *miner* in *config*, or ``None``.
+
+        Pre-view entry point; the default wraps the arguments in an
+        :class:`~repro.learning.view.ExactView` snapshot and runs
+        :meth:`choose_view`.
+        """
+        if type(self).choose_view is BetterResponsePolicy.choose_view:
+            raise TypeError(
+                f"{type(self).__name__} must override choose_view() or choose()"
+            )
+        return self.choose_view(ExactView(game, config), miner, rng)
+
+    def choose_view(
+        self,
+        view: GameView,
+        miner: Miner,
+        rng: np.random.Generator,
+    ) -> Optional[Coin]:
+        """An improving coin for *miner* at the view's state, or ``None``.
+
+        The engine-facing entry point; the default adapts to a legacy
+        :meth:`choose` override.
+        """
+        if type(self).choose is BetterResponsePolicy.choose:
+            raise TypeError(
+                f"{type(self).__name__} must override choose_view() or choose()"
+            )
+        return self.choose(view.game, view.configuration(), miner, rng)
+
+    def view_chooser(self) -> ViewChooser:
+        """The callable the trajectory loop drives, resolved once per run.
+
+        Walks the MRO for the most-derived override so that a subclass
+        of a standard policy that overrides only the legacy
+        :meth:`choose` is honored (its inherited ``choose_view`` would
+        otherwise shadow the override).
+        """
+        for klass in type(self).__mro__:
+            if klass is BetterResponsePolicy:
+                break
+            if "choose_view" in vars(klass):
+                return self.choose_view
+            if "choose" in vars(klass):
+                return lambda view, miner, rng: self.choose(
+                    view.game, view.configuration(), miner, rng
+                )
+        raise TypeError(
+            f"{type(self).__name__} must override choose_view() or choose()"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -50,8 +125,8 @@ class BestResponsePolicy(BetterResponsePolicy):
 
     name = "best-response"
 
-    def choose(self, game, config, miner, rng):
-        return game.best_response(miner, config)
+    def choose_view(self, view, miner, rng):
+        return view.best_response(miner)
 
 
 class RandomImprovingPolicy(BetterResponsePolicy):
@@ -63,8 +138,8 @@ class RandomImprovingPolicy(BetterResponsePolicy):
 
     name = "random-improving"
 
-    def choose(self, game, config, miner, rng):
-        moves = game.better_response_moves(miner, config)
+    def choose_view(self, view, miner, rng):
+        moves = view.improving_moves(miner)
         if not moves:
             return None
         return moves[int(rng.integers(0, len(moves)))]
@@ -80,15 +155,11 @@ class MinimalGainPolicy(BetterResponsePolicy):
 
     name = "minimal-gain"
 
-    def choose(self, game, config, miner, rng):
-        moves = game.better_response_moves(miner, config)
+    def choose_view(self, view, miner, rng):
+        moves = view.improving_moves(miner)
         if not moves:
             return None
-        current = game.payoff(miner, config)
-        return min(
-            moves,
-            key=lambda coin: (game.payoff_after_move(miner, coin, config) - current, coin.name),
-        )
+        return view.minimal_gain_move(miner, moves)
 
 
 class FirstImprovingPolicy(BetterResponsePolicy):
@@ -100,8 +171,8 @@ class FirstImprovingPolicy(BetterResponsePolicy):
 
     name = "first-improving"
 
-    def choose(self, game, config, miner, rng):
-        moves = game.better_response_moves(miner, config)
+    def choose_view(self, view, miner, rng):
+        moves = view.improving_moves(miner)
         return moves[0] if moves else None
 
 
@@ -115,17 +186,11 @@ class MaxRpuPolicy(BetterResponsePolicy):
 
     name = "max-rpu"
 
-    def choose(self, game, config, miner, rng):
-        moves = game.better_response_moves(miner, config)
+    def choose_view(self, view, miner, rng):
+        moves = view.improving_moves(miner)
         if not moves:
             return None
-        return max(
-            moves,
-            key=lambda coin: (
-                game.rewards[coin] / (game.coin_power(coin, config) + miner.power),
-                coin.name,
-            ),
-        )
+        return view.max_rpu_move(miner, moves)
 
 
 class EpsilonGreedyPolicy(BetterResponsePolicy):
@@ -145,10 +210,10 @@ class EpsilonGreedyPolicy(BetterResponsePolicy):
         self._best = BestResponsePolicy()
         self._random = RandomImprovingPolicy()
 
-    def choose(self, game, config, miner, rng):
+    def choose_view(self, view, miner, rng):
         if rng.random() < self.epsilon:
-            return self._random.choose(game, config, miner, rng)
-        return self._best.choose(game, config, miner, rng)
+            return self._random.choose_view(view, miner, rng)
+        return self._best.choose_view(view, miner, rng)
 
 
 #: The named policies experiments sweep over.

@@ -1,9 +1,10 @@
 """Better-response learning for restricted (asymmetric) games.
 
-A thin engine mirroring :class:`repro.learning.engine.LearningEngine`
-for :class:`repro.core.restricted.RestrictedGame`. Kept separate so the
-symmetric hot path stays lean; the restricted engine reuses the policy
-idea (where to move) but consults the restriction for legal moves.
+A thin wrapper over the shared trajectory stepper
+(:func:`repro.learning.engine.run_better_response`): the hardware
+restriction is expressed as a per-miner allowed-coin mask pushed into
+the :class:`~repro.learning.view.GameView`, so restricted games run on
+the same loop — and the same integer kernel — as everything else.
 """
 
 from __future__ import annotations
@@ -12,9 +13,11 @@ from dataclasses import dataclass
 
 from repro.core.configuration import Configuration
 from repro.core.restricted import RestrictedGame
-from repro.exceptions import ConvergenceError
-from repro.kernel.engine import run_restricted_fast
-from repro.learning.trajectory import Step, Trajectory
+from repro.learning.engine import run_better_response
+from repro.learning.policies import BetterResponsePolicy
+from repro.learning.schedulers import UniformRandomScheduler
+from repro.learning.trajectory import Trajectory
+from repro.learning.view import make_view
 from repro.util.rng import RngLike, make_rng
 
 
@@ -24,15 +27,17 @@ class RestrictedLearningEngine:
 
     Policies are expressed as a mode string rather than the policy
     objects of the unrestricted engine, because restricted move sets
-    must be computed here anyway:
+    must be computed against the mask anyway:
 
     * ``"random"`` — uniformly random legal improving move,
     * ``"best"`` — legal payoff-maximizing move,
     * ``"minimal"`` — legal move with the smallest gain (adversarial).
 
-    ``backend="fast"`` (default) runs the :mod:`repro.kernel` integer
-    loop; ``"exact"`` keeps the Fraction loop. Both produce identical
-    trajectories for identical seeds.
+    ``backend="fast"`` (default) runs the mask-aware integer kernel
+    view; ``"exact"`` the Fraction view. Both produce identical
+    trajectories for identical seeds — also for subclasses that
+    override :meth:`_select`, which the unified loop honors on either
+    backend.
     """
 
     mode: str = "random"
@@ -57,54 +62,29 @@ class RestrictedLearningEngine:
         """Run legal better-response learning to a restricted equilibrium."""
         restricted.validate_configuration(initial)
         rng = make_rng(seed)
-        # Exact-type check: a subclass may override _select, which the
-        # kernel loop never calls — only the Fraction loop honors it.
-        if self.backend == "fast" and type(self) is RestrictedLearningEngine:
-            return run_restricted_fast(
-                restricted,
-                initial,
-                mode=self.mode,
-                rng=rng,
-                max_steps=self.max_steps,
-            )
-        game = restricted.game
-        trajectory = Trajectory(configurations=[initial])
-        config = initial
-        for index in range(self.max_steps):
-            unstable = restricted.unstable_miners(config)
-            if not unstable:
-                trajectory.converged = True
-                return trajectory
-            miner = unstable[int(rng.integers(0, len(unstable)))]
-            moves = restricted.better_response_moves(miner, config)
-            target = self._select(game, miner, config, moves, rng)
-            before = game.payoff(miner, config)
-            source = config.coin_of(miner)
-            config = config.move(miner, target)
-            after = game.payoff(miner, config)
-            if after <= before:
-                raise ConvergenceError(
-                    "restricted engine produced a non-improving step; bug"
-                )
-            trajectory.steps.append(
-                Step(
-                    index=index,
-                    miner=miner,
-                    source=source,
-                    target=target,
-                    payoff_before=before,
-                    payoff_after=after,
-                )
-            )
-            trajectory.configurations.append(config)
-        if restricted.is_stable(config):
-            trajectory.converged = True
-            return trajectory
-        raise ConvergenceError(
-            f"restricted learning did not converge within {self.max_steps} steps"
+        allowed = {
+            miner: restricted.allowed_coins(miner) for miner in restricted.miners
+        }
+        view = make_view(
+            restricted.game, initial, backend=self.backend, allowed=allowed
+        )
+        return run_better_response(
+            view,
+            _RestrictedModePolicy(self),
+            UniformRandomScheduler(),
+            rng,
+            max_steps=self.max_steps,
+            record_configurations=True,
+            raise_on_budget=True,
+            what="restricted learning",
         )
 
     def _select(self, game, miner, config, moves, rng):
+        """Pick one of the legal improving *moves* (subclass hook).
+
+        Overrides are honored on both backends; the default dispatches
+        on :attr:`mode`.
+        """
         if self.mode == "random":
             return moves[int(rng.integers(0, len(moves)))]
         gains = {
@@ -113,3 +93,38 @@ class RestrictedLearningEngine:
         if self.mode == "best":
             return max(moves, key=lambda c: (gains[c], c.name))
         return min(moves, key=lambda c: (gains[c], c.name))
+
+
+class _RestrictedModePolicy(BetterResponsePolicy):
+    """Adapter presenting a :class:`RestrictedLearningEngine` as a policy.
+
+    The view already filters moves to the restriction mask, so the
+    policy only realizes the engine's mode — through the view's integer
+    selection helpers, or through a subclass's overridden
+    :meth:`RestrictedLearningEngine._select` (which receives the exact
+    game/config arguments it always did).
+    """
+
+    def __init__(self, engine: RestrictedLearningEngine):
+        self._engine = engine
+        self.name = f"restricted-{engine.mode}"
+        self._custom_select = (
+            type(engine)._select is not RestrictedLearningEngine._select
+        )
+
+    def choose_view(self, view, miner, rng):
+        moves = view.improving_moves(miner)
+        if not moves:
+            return None
+        if self._custom_select:
+            return self._engine._select(
+                view.game, miner, view.configuration(), moves, rng
+            )
+        mode = self._engine.mode
+        if mode == "random":
+            return moves[int(rng.integers(0, len(moves)))]
+        if mode == "best":
+            # max by (post-move payoff, name) — the same ordering as the
+            # max-RPU selection, since payoff = power · RPU.
+            return view.max_rpu_move(miner, moves)
+        return view.minimal_gain_move(miner, moves)

@@ -15,6 +15,11 @@ dynamic, this one can cycle forever; E12 measures how often, and how
 well small amounts of inertia (each miner independently moves only with
 probability ``p``) restore convergence — the standard remedy in the
 learning-in-games literature.
+
+The round loop is written once against the
+:class:`~repro.learning.view.GameView` protocol; ``backend`` picks the
+view (``"fast"`` integer kernel / ``"exact"`` Fractions), with
+identical rounds, movers, inertia draws and verdicts either way.
 """
 
 from __future__ import annotations
@@ -22,11 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
+from repro.core.coin import Coin
 from repro.core.configuration import Configuration
 from repro.core.game import Game
-from repro.kernel.core import KernelGame
+from repro.core.miner import Miner
+from repro.learning.view import make_view
 from repro.util.rng import RngLike, make_rng
 
 
@@ -70,31 +75,21 @@ def run_simultaneous(
     Detection: convergence = a round with no movers; cycling = a
     configuration seen before (the dynamic is Markov for ``inertia=0``,
     so a repeat proves a permanent cycle).
-
-    ``backend="fast"`` (default) computes each round's best responses
-    with the :mod:`repro.kernel` integer arithmetic; ``"exact"`` keeps
-    the Fraction scan. Identical rounds, movers and verdicts either way.
     """
     if not 0.0 <= inertia < 1.0:
         raise ValueError(f"inertia must be in [0, 1), got {inertia}")
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be ≥ 1, got {max_rounds}")
-    if backend not in ("fast", "exact"):
-        raise ValueError(f"backend must be 'fast' or 'exact', got {backend!r}")
     game.validate_configuration(initial)
     rng = make_rng(seed)
-    if backend == "fast":
-        return _run_simultaneous_fast(
-            game, initial, inertia=inertia, max_rounds=max_rounds, rng=rng
-        )
+    view = make_view(game, initial, backend=backend)
 
     seen: Dict[Configuration, int] = {initial: 0}
     configurations = [initial]
-    config = initial
     for round_index in range(1, max_rounds + 1):
-        movers: List[Tuple] = []
-        for miner in game.miners:
-            target = game.best_response(miner, config)
+        movers: List[Tuple[Miner, Coin]] = []
+        for miner in view.miners:
+            target = view.best_response(miner)
             if target is None:
                 continue
             if inertia > 0.0 and rng.random() < inertia:
@@ -104,10 +99,11 @@ def run_simultaneous(
             return SimultaneousResult(
                 configurations=configurations, converged=True, cycle_start=None
             )
-        assignment = {miner: coin for miner, coin in config}
+        # Targets were all evaluated against the pre-round state, so
+        # applying them one by one realizes the simultaneous jump.
         for miner, target in movers:
-            assignment[miner] = target
-        config = Configuration.from_mapping(game.miners, assignment)
+            view.apply(miner, target)
+        config = view.configuration()
         configurations.append(config)
         if inertia == 0.0:
             previous = seen.get(config)
@@ -119,59 +115,7 @@ def run_simultaneous(
                 )
             seen[config] = round_index
     return SimultaneousResult(
-        configurations=configurations, converged=game.is_stable(config), cycle_start=None
-    )
-
-
-def _run_simultaneous_fast(
-    game: Game,
-    initial: Configuration,
-    *,
-    inertia: float,
-    max_rounds: int,
-    rng: np.random.Generator,
-) -> SimultaneousResult:
-    """Integer-kernel twin of the synchronous dynamic's exact loop."""
-    kernel = KernelGame(game)
-    miners = game.miners
-    coins = game.coins
-    powers = kernel.powers
-    assign = kernel.assignment_of(initial)
-    mass = kernel.mass_of(assign)
-
-    seen: Dict[Configuration, int] = {initial: 0}
-    configurations = [initial]
-    for round_index in range(1, max_rounds + 1):
-        movers: List[Tuple[int, int]] = []
-        for i in range(kernel.n_miners):
-            target = kernel.best_response_idx(i, assign, mass)
-            if target is None:
-                continue
-            if inertia > 0.0 and rng.random() < inertia:
-                continue
-            movers.append((i, target))
-        if not movers:
-            return SimultaneousResult(
-                configurations=configurations, converged=True, cycle_start=None
-            )
-        for i, target in movers:
-            mass[assign[i]] -= powers[i]
-            mass[target] += powers[i]
-            assign[i] = target
-        config = Configuration(miners, [coins[j] for j in assign])
-        configurations.append(config)
-        if inertia == 0.0:
-            previous = seen.get(config)
-            if previous is not None:
-                return SimultaneousResult(
-                    configurations=configurations,
-                    converged=False,
-                    cycle_start=previous,
-                )
-            seen[config] = round_index
-    converged = not kernel.unstable(assign, mass)
-    return SimultaneousResult(
-        configurations=configurations, converged=converged, cycle_start=None
+        configurations=configurations, converged=view.is_stable(), cycle_start=None
     )
 
 

@@ -9,7 +9,10 @@ whether the theorem's prediction survives that noise:
   stability oracle to schedule from — that is the point) estimates its
   payoff on every coin by running the integer block lottery for
   ``budget.rounds_at(t)`` rounds per coin, then moves to the estimated
-  best coin if the *estimated* improvement is strict;
+  best coin if the *estimated* improvement is strict; state lives in
+  the same incrementally maintained
+  :class:`~repro.kernel.engine.KernelView` every exact dynamic uses
+  (integer masses, O(1) per move);
 * estimate comparisons are exact: ``wins_j · R[j] > wins_cur · R[cur]``
   in kernel-scaled integers (the round counts are equal), so noise
   enters only through the Binomial win counts, never through float
@@ -39,7 +42,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.kernel.batch import PooledRunner
-from repro.kernel.core import KernelGame
+from repro.kernel.engine import KernelView
 from repro.stochastic.estimator import SampleBudget, as_budget
 from repro.stochastic.lottery import sample_win_count
 from repro.util.rng import RngLike, make_rng
@@ -126,12 +129,15 @@ class NoisyLearningEngine:
         """Run noisy learning from *initial* until settled or out of budget."""
         game.validate_configuration(initial)
         rng = make_rng(seed)
-        kernel = KernelGame(game)
+        # The same incremental integer state every other dynamic runs
+        # on: a KernelView maintains assign/mass in O(1) per move.
+        view = KernelView(game, initial)
+        kernel = view.kernel
         budget = as_budget(self.budget)
         patience = self.patience if self.patience is not None else 4 * kernel.n_miners
 
-        assign = kernel.assignment_of(initial)
-        mass = kernel.mass_of(assign)
+        assign = view.assign
+        mass = view.mass
         powers = kernel.powers
         rewards = kernel.rewards
         n, k = kernel.n_miners, kernel.n_coins
@@ -154,9 +160,7 @@ class NoisyLearningEngine:
                 target = int(rng.integers(0, k - 1))
                 if target >= cur:
                     target += 1
-                assign[i] = target
-                mass[cur] -= power
-                mass[target] += power
+                view.apply_index(i, target)
                 moves += 1
                 quiet = 0
                 continue
@@ -181,9 +185,7 @@ class NoisyLearningEngine:
             if self.inertia > 0.0 and rng.random() < self.inertia:
                 quiet += 1
                 continue
-            assign[i] = best
-            mass[cur] -= power
-            mass[best] += power
+            view.apply_index(i, best)
             moves += 1
             quiet = 0
         else:
@@ -197,7 +199,7 @@ class NoisyLearningEngine:
             activations=activations,
             moves=moves,
             settled=settled,
-            reached_equilibrium=not kernel.unstable(assign, mass),
+            reached_equilibrium=view.is_stable(),
             rounds_sampled=rounds_sampled,
         )
 
