@@ -1,7 +1,7 @@
 """Head-to-head: Fraction brute force vs the index-level space engine.
 
-Both benches perform the identical Theorem 1 workload on the identical
-six games at the seed problem size (5 miners × 2 coins): full
+Both free-game benches perform the identical Theorem 1 workload on the
+identical six games at the seed problem size (5 miners × 2 coins): full
 improvement-DAG analysis (acyclicity + exact longest path + sinks)
 plus equilibrium enumeration. ``fraction`` is the pre-PR path
 (Configuration objects, Fraction arithmetic); ``space`` is the
@@ -10,18 +10,29 @@ Gray-code integer-code engine. Run both and feed the JSON to
 ≥10× faster at this size and the gap widens with the space
 (the full analysis of a 12×2 game drops from ~13 s to ~0.03 s).
 
-A cross-check asserts both paths return identical answers, so the
-bench doubles as an end-to-end parity test at benchmark scale.
+The ``restricted`` pair runs the same workload on hardware-restricted
+games at E11's size (10 miners × 4 coins, coins split between two PoW
+algorithms): the mask-aware engine walks only the ~2^10 mask-valid
+codes with per-miner digit alphabets, while the Fraction path
+brute-forces ``RestrictedGame.all_configurations``.
+
+Cross-checks assert both paths return identical answers, so the bench
+doubles as an end-to-end parity test at benchmark scale.
 """
 
 from repro.analysis.paths import analyze_improvement_dag
 from repro.core.equilibrium import enumerate_equilibria
 from repro.core.factories import random_game
+from repro.core.restricted import RestrictedGame
 from repro.util.rng import spawn_rngs
 
 GAMES = 6
 MINERS = 5
 COINS = 2
+
+RESTRICTED_GAMES = 4
+RESTRICTED_MINERS = 10
+RESTRICTED_COINS = 4
 
 
 def _games():
@@ -29,11 +40,43 @@ def _games():
     return [random_game(MINERS, COINS, seed=rngs[i]) for i in range(GAMES)]
 
 
+def _restricted_games():
+    """E11-sized hardware-restricted games (deterministic splits)."""
+    rngs = spawn_rngs(7, RESTRICTED_GAMES)
+    restricted = []
+    for i in range(RESTRICTED_GAMES):
+        rng = rngs[i]
+        game = random_game(RESTRICTED_MINERS, RESTRICTED_COINS, seed=rng)
+        coin_algorithms = {
+            coin.name: "scrypt" if index % 2 else "sha256d"
+            for index, coin in enumerate(game.coins)
+        }
+        miner_hardware = {
+            miner.name: "scrypt" if rng.random() < 0.4 else "sha256d"
+            for miner in game.miners
+        }
+        restricted.append(
+            RestrictedGame.by_algorithm(game, coin_algorithms, miner_hardware)
+        )
+    return restricted
+
+
 def _workload(backend):
     results = []
     for game in _games():
         analysis = analyze_improvement_dag(game, backend=backend)
         equilibria = enumerate_equilibria(game, backend=backend)
+        results.append(
+            (analysis.acyclic, analysis.longest_path, list(analysis.sinks), equilibria)
+        )
+    return results
+
+
+def _restricted_workload(backend):
+    results = []
+    for restricted in _restricted_games():
+        analysis = analyze_improvement_dag(restricted, backend=backend)
+        equilibria = restricted.enumerate_equilibria(backend=backend)
         results.append(
             (analysis.acyclic, analysis.longest_path, list(analysis.sinks), equilibria)
         )
@@ -49,3 +92,16 @@ def test_enumeration_space(benchmark):
     results = benchmark(_workload, "space")
     assert all(acyclic for acyclic, _, _, _ in results)
     assert results == _workload("exact"), "space engine must match the Fraction path"
+
+
+def test_restricted_enumeration_fraction(benchmark):
+    results = benchmark(_restricted_workload, "exact")
+    assert all(acyclic for acyclic, _, _, _ in results)
+
+
+def test_restricted_enumeration_space(benchmark):
+    results = benchmark(_restricted_workload, "space")
+    assert all(acyclic for acyclic, _, _, _ in results)
+    assert results == _restricted_workload("exact"), (
+        "mask-aware space engine must match the restricted Fraction path"
+    )

@@ -72,7 +72,7 @@ refuter ``find_nonzero_four_cycle`` — default to ``backend="space"``:
 as a base-``|C|`` integer code, walks the space in Gray-code order
 (one miner changes coin per step, so the integer mass vector updates
 in O(1) per node), answers every query through the kernel's integer
-cross-multiplication, and enumerates only canonical equal-power orbit
+cross-multiplication, and enumerates only canonical orbit
 representatives when the game has interchangeable miners (a
 12-equal-miner × 3-coin game shrinks from 531,441 configurations to
 91 orbits). Results — content and order, after orbit expansion — are
@@ -81,6 +81,24 @@ which ``tests/test_space_parity.py`` asserts on ~100 games. Measured:
 the seed-size Theorem 1 workload (six 5×2 games) runs ~55× faster
 (176 ms → 3.2 ms), a 12×2 game ~440× (13.4 s → 0.03 s); practical
 scan limits rose from 100k Fraction nodes to 2M integer-code nodes.
+
+The engine is *mask-aware*: all four entry points also accept a
+:class:`~repro.core.restricted.RestrictedGame` (or a plain game plus
+an ``allowed=`` per-miner coin mask) and then analyze the paper's
+asymmetric case exactly — each miner's digit becomes an alphabet of
+its allowed coin indices, both walks visit only mask-valid codes with
+the same O(1) incremental updates, and symmetry merges only miners
+with equal power *and* equal allowed set. Restricted equilibrium
+sets, the restricted improvement DAG (Theorem 1 survives — the
+restriction only removes edges), exact longest legal paths, and
+legal-cycle Proposition 1 witnesses all match the Fraction brute
+force over ``RestrictedGame.all_configurations``
+configuration-for-configuration
+(``tests/test_restricted_space_parity.py``). Measured: four E11-sized
+hardware-restricted games (10×4) run ~110× faster (4.4 s → 40 ms),
+and E11's exact-enumeration tier certifies every game's full
+restricted equilibrium count and worst-case legal path at default
+sizes.
 
 Stochastic realization
 ~~~~~~~~~~~~~~~~~~~~~~

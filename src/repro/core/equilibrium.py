@@ -16,12 +16,13 @@
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.coin import Coin
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner, sorted_by_power
+from repro.core.restricted import RestrictedGame, as_restricted
 from repro.exceptions import InvalidModelError
 
 
@@ -76,11 +77,12 @@ def greedy_equilibrium(game: Game) -> Configuration:
 
 
 def enumerate_equilibria(
-    game: Game,
+    game: Union[Game, RestrictedGame],
     *,
     limit: Optional[int] = None,
     backend: str = "space",
     symmetry: bool = True,
+    allowed: Optional[Mapping[Miner, Sequence[Coin]]] = None,
 ) -> List[Configuration]:
     """All pure equilibria of the game, by exhaustive search.
 
@@ -92,29 +94,45 @@ def enumerate_equilibria(
     ``backend="space"`` (the default) scans integer configuration codes
     through :class:`repro.kernel.space.ConfigSpace` — a Gray-code walk
     with O(1) mass updates and integer stability checks, plus
-    equal-power symmetry reduction (one canonical representative per
-    orbit, expanded afterwards) when ``symmetry`` is on and the game
-    has interchangeable miners. When symmetry reduction applies, the
-    scan count the ``limit`` guards is the *orbit* count, so symmetric
-    games far beyond ``|C|^n ≤ limit`` stay enumerable. The result —
-    content and order — is identical to ``backend="exact"``, the
-    original Fraction brute force over Configuration objects.
+    symmetry reduction (one canonical representative per orbit,
+    expanded afterwards) when ``symmetry`` is on and the game has
+    interchangeable miners. When symmetry reduction applies, the scan
+    count the ``limit`` guards is the *orbit* count, so symmetric games
+    far beyond ``|C|^n ≤ limit`` stay enumerable. The result — content
+    and order — is identical to ``backend="exact"``, the original
+    Fraction brute force over Configuration objects.
+
+    *game* may be a :class:`~repro.core.restricted.RestrictedGame` (or
+    a plain game plus an ``allowed=`` per-miner coin mask): equilibria
+    of the *restricted* game are then enumerated — the space backend
+    walks only mask-valid codes with per-miner digit alphabets, the
+    exact backend brute-forces
+    :meth:`RestrictedGame.all_configurations` — and miners are
+    symmetry-interchangeable only when power *and* allowed set match.
     """
+    base, restricted = as_restricted(game, allowed)
+    # RestrictedGame mirrors the Game scan surface, so one loop serves
+    # both backends' brute force.
+    source = base if restricted is None else restricted
     if backend == "exact":
-        count = game.configuration_count()
+        count = source.configuration_count()
         if limit is not None and count > limit:
             raise InvalidModelError(
                 f"game has {count} configurations, above the scan limit {limit}; "
                 "enumeration is only for small games"
             )
-        return [config for config in game.all_configurations() if game.is_stable(config)]
+        return [
+            config
+            for config in source.all_configurations()
+            if source.is_stable(config)
+        ]
     if backend != "space":
         raise InvalidModelError(
             f"unknown enumeration backend {backend!r}; expected 'space' or 'exact'"
         )
     from repro.kernel.space import ConfigSpace
 
-    space = ConfigSpace(game, symmetry=symmetry)
+    space = ConfigSpace(source, symmetry=symmetry)
     scanned = space.orbit_count() if space.symmetry else space.size
     if limit is not None and scanned > limit:
         raise InvalidModelError(
@@ -126,17 +144,26 @@ def enumerate_equilibria(
     return space.equilibria(max_codes=limit)
 
 
-def iter_equilibria(game: Game, *, backend: str = "space") -> Iterator[Configuration]:
+def iter_equilibria(
+    game: Union[Game, RestrictedGame],
+    *,
+    backend: str = "space",
+    allowed: Optional[Mapping[Miner, Sequence[Coin]]] = None,
+) -> Iterator[Configuration]:
     """Lazily iterate pure equilibria (exhaustive scan order).
 
     The default ``backend="space"`` walks integer codes in the same
     product order as the Fraction scan (``backend="exact"``) but with
     incremental integer mass updates, yielding identical configurations
-    in identical order with none of the per-node allocation.
+    in identical order with none of the per-node allocation. Restricted
+    games (or an ``allowed=`` mask) restrict the walk to mask-valid
+    configurations, as in :func:`enumerate_equilibria`.
     """
+    base, restricted = as_restricted(game, allowed)
+    source = base if restricted is None else restricted
     if backend == "exact":
-        for config in game.all_configurations():
-            if game.is_stable(config):
+        for config in source.all_configurations():
+            if source.is_stable(config):
                 yield config
         return
     if backend != "space":
@@ -145,7 +172,7 @@ def iter_equilibria(game: Game, *, backend: str = "space") -> Iterator[Configura
         )
     from repro.kernel.space import ConfigSpace
 
-    yield from ConfigSpace(game, symmetry=False).iter_equilibria()
+    yield from ConfigSpace(source, symmetry=False).iter_equilibria()
 
 
 def two_distinct_equilibria(game: Game) -> Tuple[Configuration, Configuration]:

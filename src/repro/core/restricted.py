@@ -22,12 +22,27 @@ Scrypt coin. This module implements that extension:
   crowds larger, never smaller — but *only* when every pair of miners
   shares comparable options; with disjoint hardware classes the claim
   still holds coin-class by coin-class.
+* The *exact* analyses run restricted too:
+  :meth:`RestrictedGame.enumerate_equilibria` /
+  :meth:`RestrictedGame.iter_equilibria` (and
+  ``analyze_improvement_dag`` / ``reachable_equilibria`` /
+  ``find_nonzero_four_cycle``, which all accept a
+  :class:`RestrictedGame` or an ``allowed=`` mask) default to
+  ``backend="space"`` — the mask-aware
+  :class:`~repro.kernel.space.ConfigSpace` engine walks only
+  mask-valid integer configuration codes (per-miner digit alphabets,
+  O(1) incremental mass updates, symmetry reduction over
+  power-*and*-mask equivalence classes), and
+  ``tests/test_restricted_space_parity.py`` holds it to
+  configuration-for-configuration parity with the Fraction brute force
+  over :meth:`RestrictedGame.all_configurations`.
 """
 
 from __future__ import annotations
 
+import itertools
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.coin import Coin
 from repro.core.configuration import Configuration
@@ -49,6 +64,13 @@ class RestrictedGame:
 
     def __init__(self, game: Game, allowed: Mapping[Miner, Sequence[Coin]]):
         self._game = game
+        known = set(game.miners)
+        for miner in allowed:
+            if miner not in known:
+                raise InvalidModelError(
+                    f"restriction names miner {miner.name!r} which is not "
+                    "in this game"
+                )
         converted: Dict[Miner, Tuple[Coin, ...]] = {}
         for miner in game.miners:
             if miner not in allowed:
@@ -117,6 +139,20 @@ class RestrictedGame:
         except KeyError:
             raise InvalidModelError(f"miner {miner.name!r} is not in this game")
 
+    def allowed_in_coin_order(self, miner: Miner) -> Tuple[Coin, ...]:
+        """*miner*'s allowed coins, ascending in game coin order.
+
+        :meth:`allowed_coins` preserves the caller's mapping order;
+        exhaustive scans (and the mask-aware space engine's digit
+        alphabets) need the canonical ascending order instead.
+        """
+        allowed = set(self.allowed_coins(miner))
+        return tuple(coin for coin in self._game.coins if coin in allowed)
+
+    def allowed_map(self) -> Dict[Miner, Tuple[Coin, ...]]:
+        """The full per-miner mask, for mask-consuming engines."""
+        return dict(self._allowed)
+
     def is_allowed(self, miner: Miner, coin: Coin) -> bool:
         return coin in self._allowed.get(miner, ())
 
@@ -129,6 +165,59 @@ class RestrictedGame:
                     f"miner {miner.name!r} sits on {coin.name!r} which its "
                     "hardware cannot mine"
                 )
+
+    # ------------------------------------------------------------------
+    # Exhaustive scans (the restricted configuration space)
+    # ------------------------------------------------------------------
+
+    def configuration_count(self) -> int:
+        """Number of mask-valid configurations (``Π_p |allowed(p)|``)."""
+        count = 1
+        for miner in self.miners:
+            count *= len(self._allowed[miner])
+        return count
+
+    def all_configurations(self) -> Iterator[Configuration]:
+        """Every mask-valid configuration, in product order.
+
+        Mirrors :meth:`repro.core.game.Game.all_configurations` — miner
+        0 is the most significant position and each miner's choices run
+        ascending in *game coin order* — so the scan order equals the
+        mask-aware space engine's ascending-code order and restricted
+        answers stay order-comparable across backends.
+        """
+        ordered = [self.allowed_in_coin_order(miner) for miner in self.miners]
+        for choices in itertools.product(*ordered):
+            yield Configuration(self.miners, list(choices))
+
+    def enumerate_equilibria(
+        self,
+        *,
+        limit: Optional[int] = None,
+        backend: str = "space",
+        symmetry: bool = True,
+    ) -> List[Configuration]:
+        """All pure equilibria of the restricted game, by exhaustive search.
+
+        ``backend="space"`` (the default) scans only mask-valid integer
+        configuration codes through the mask-aware
+        :class:`~repro.kernel.space.ConfigSpace`;
+        ``backend="exact"`` is the Fraction brute force over
+        :meth:`all_configurations`. Results — content and order — are
+        identical; ``limit`` guards the scan as in
+        :func:`repro.core.equilibrium.enumerate_equilibria`.
+        """
+        from repro.core.equilibrium import enumerate_equilibria
+
+        return enumerate_equilibria(
+            self, limit=limit, backend=backend, symmetry=symmetry
+        )
+
+    def iter_equilibria(self, *, backend: str = "space") -> Iterator[Configuration]:
+        """Lazily iterate the restricted equilibria in product order."""
+        from repro.core.equilibrium import iter_equilibria
+
+        return iter_equilibria(self, backend=backend)
 
     # ------------------------------------------------------------------
     # Strategic structure under the restriction
@@ -225,6 +314,81 @@ class RestrictedGame:
             f"RestrictedGame({self._game!r}, {restricted}/{len(self.miners)} "
             "miners restricted)"
         )
+
+
+def normalize_mask(
+    game: Game, allowed: Optional[Mapping[Miner, Sequence[Coin]]]
+) -> Optional[Dict[Miner, Tuple[Coin, ...]]]:
+    """Per-miner allowed coins, ascending in game coin order; None = all.
+
+    A miner missing from the mapping is unrestricted; a listed miner
+    must belong to the game and keep at least one coin, and every
+    listed coin must be a game coin — a typo'd mask raises instead of
+    silently freezing a miner as "stable" (or silently running
+    unrestricted). Masks that allow every coin for every miner collapse
+    to ``None`` so unrestricted hot paths stay mask-free. Shared by the
+    strategy views (:mod:`repro.learning.view`) and the mask-aware
+    enumeration engine (:mod:`repro.kernel.space`).
+    """
+    if allowed is None:
+        return None
+    coins = game.coins
+    coin_set = set(coins)
+    miner_set = set(game.miners)
+    for miner in allowed:
+        if miner not in miner_set:
+            raise InvalidModelError(
+                f"allowed-coin mask names miner {miner.name!r} which is not "
+                "in this game"
+            )
+        if not tuple(allowed[miner]):
+            raise InvalidModelError(
+                f"miner {miner.name!r} must be allowed at least one coin"
+            )
+        for coin in allowed[miner]:
+            if coin not in coin_set:
+                raise InvalidModelError(
+                    f"allowed-coin mask gives miner {miner.name!r} unknown "
+                    f"coin {coin.name!r}"
+                )
+    mask: Dict[Miner, Tuple[Coin, ...]] = {}
+    trivial = True
+    for miner in game.miners:
+        if miner in allowed:
+            allowed_set = set(allowed[miner])
+            ordered = tuple(coin for coin in coins if coin in allowed_set)
+        else:
+            ordered = coins
+        if len(ordered) != len(coins):
+            trivial = False
+        mask[miner] = ordered
+    return None if trivial else mask
+
+
+def as_restricted(
+    game: Union[Game, "RestrictedGame"],
+    allowed: Optional[Mapping[Miner, Sequence[Coin]]] = None,
+) -> Tuple[Game, Optional["RestrictedGame"]]:
+    """Normalize ``(game-or-RestrictedGame, allowed=)`` to ``(base, restriction)``.
+
+    The shared front door of every analysis that accepts either a
+    :class:`RestrictedGame` or a plain :class:`Game` plus an
+    ``allowed=`` mask: returns the base game and the restriction to
+    honor (``None`` when unrestricted). Miners missing from an
+    ``allowed=`` mapping are unrestricted; miners (or coins) unknown to
+    the game raise, and passing a mask *and* a RestrictedGame is
+    ambiguous and raises.
+    """
+    if isinstance(game, RestrictedGame):
+        if allowed is not None:
+            raise InvalidModelError(
+                "pass either a RestrictedGame or an allowed= mask, not both"
+            )
+        return game.game, game
+    mask = normalize_mask(game, allowed)
+    if mask is None:
+        return game, None
+    return game, RestrictedGame(game, mask)
 
 
 def restricted_potential_compare(

@@ -175,6 +175,33 @@ class KernelGame:
                     break
         return result
 
+    def stable_index(
+        self,
+        assign: Sequence[int],
+        mass: Sequence[int],
+        allowed: Optional[Sequence[Sequence[int]]] = None,
+    ) -> bool:
+        """Early-exit stability: no miner has an improving move.
+
+        The predicate twin of :meth:`unstable` — it returns on the
+        first improving move found instead of materializing the list,
+        which is what the enumeration engine's per-node checks want.
+        *allowed* is the per-miner candidate-coin mask (``allowed[i]``
+        in ascending index order); ``None`` means unrestricted.
+        """
+        rewards = self.rewards
+        powers = self.powers
+        for i in range(self.n_miners):
+            cur = assign[i]
+            reward_cur = rewards[cur]
+            mass_cur = mass[cur]
+            power = powers[i]
+            candidates = range(self.n_coins) if allowed is None else allowed[i]
+            for j in candidates:
+                if j != cur and rewards[j] * mass_cur > reward_cur * (mass[j] + power):
+                    return False
+        return True
+
     def best_response_idx(
         self,
         i: int,

@@ -27,8 +27,9 @@ from repro.core.coin import Coin
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
+from repro.core.restricted import normalize_mask
 from repro.kernel.core import KernelGame
-from repro.learning.view import GameView, _normalize_mask
+from repro.learning.view import GameView
 
 
 class KernelView(GameView):
@@ -74,7 +75,7 @@ class KernelView(GameView):
         self.kernel = kernel if kernel is not None else KernelGame(game)
         self.assign: List[int] = self.kernel.assignment_of(initial)
         self.mass: List[int] = self.kernel.mass_of(self.assign)
-        mask = _normalize_mask(game, allowed)
+        mask = normalize_mask(game, allowed)
         if mask is None:
             self._allowed_idx: Optional[Tuple[Tuple[int, ...], ...]] = None
         else:
@@ -138,7 +139,7 @@ class KernelView(GameView):
         return tuple(miners[i] for i in unstable)
 
     def is_stable(self) -> bool:
-        return not self.kernel.unstable(self.assign, self.mass, self._allowed_idx)
+        return self.kernel.stable_index(self.assign, self.mass, self._allowed_idx)
 
     # -- selection helpers ---------------------------------------------
 

@@ -18,11 +18,28 @@ Fraction comparisons. :class:`ConfigSpace` removes all of that:
 * every stability / better-move / successor query goes through the
   :class:`~repro.kernel.core.KernelGame` integer cross-multiplication,
   so no Fraction and no Configuration is allocated inside a scan;
-* miners with **identical power are interchangeable**, so scans that
-  only need orbit-level answers (equilibria, acyclicity, longest path,
-  sinks) enumerate one *canonical representative* per orbit — coin
-  indices sorted within each equal-power block — with multiplicities,
-  shrinking ``|C|^n`` to ``Π_b C(|b|+|C|-1, |C|-1)`` over blocks.
+* miners with **identical power and identical allowed-coin set are
+  interchangeable**, so scans that only need orbit-level answers
+  (equilibria, acyclicity, longest path, sinks) enumerate one
+  *canonical representative* per orbit — coin indices sorted within
+  each equal-power-equal-mask block — with multiplicities, shrinking
+  ``|C|^n`` to ``Π_b C(|b|+|A_b|-1, |A_b|-1)`` over blocks with
+  alphabet ``A_b``.
+
+The engine is **mask-aware**: a per-miner *allowed-coin* mask (the
+asymmetric case of :class:`~repro.core.restricted.RestrictedGame` —
+hardware that can only mine a subset of coins) turns each miner's digit
+into its own **alphabet** of ascending coin indices. The Gray-code walk
+and the product-order odometer then iterate only mask-valid
+assignments (the walk runs over digit *positions*, so the O(1)
+incremental mass/code update survives arbitrary alphabets), stability
+and successor checks consult the mask through the kernel's ``allowed``
+candidate lists, and symmetry reduction keys its blocks on
+(power, alphabet) — permuting two miners is a better-response-graph
+automorphism only if both their powers *and* their allowed sets match,
+which keeps the orbit-quotient DAG analysis sound under restriction.
+Masks that allow every coin for every miner normalize away entirely,
+so the unrestricted hot paths are untouched.
 
 ``Configuration`` objects are materialized only at API boundaries
 (returned equilibria, graph sinks, 4-cycle witnesses).
@@ -33,11 +50,24 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from math import comb, factorial
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.core.coin import Coin
 from repro.core.configuration import Configuration
 from repro.core.game import Game
-from repro.exceptions import InvalidModelError
+from repro.core.miner import Miner
+from repro.core.restricted import RestrictedGame, normalize_mask
+from repro.exceptions import InvalidConfigurationError, InvalidModelError
 from repro.kernel.core import KernelGame
 
 
@@ -73,7 +103,9 @@ class DagReport:
     forbids — it would indicate a payoff-model bug). ``sink_codes`` are
     full-space configuration codes in ascending (= product) order, with
     orbits expanded when symmetry reduction was used, so they always
-    denote the complete set of pure equilibria.
+    denote the complete set of pure (restricted) equilibria.
+    ``total_configurations`` counts *mask-valid* configurations when the
+    space is restricted.
     """
 
     acyclic: bool
@@ -91,9 +123,30 @@ class ConfigSpace:
     is one ``assign`` list (coin index per miner) and one integer
     ``mass`` list (scaled coin power), both mutated in place by the
     walk generators — callers must copy anything they keep.
+
+    *allowed* restricts each miner to a subset of coins (the
+    :class:`~repro.core.restricted.RestrictedGame` mask; miners missing
+    from the mapping are unrestricted) — a :class:`RestrictedGame` may
+    also be passed directly as the first argument. Codes remain
+    full-space base-``|C|`` codes, but the walks visit only mask-valid
+    assignments, ``size`` counts only those, and all stability /
+    successor / cycle queries consult the mask.
     """
 
-    def __init__(self, game_or_kernel: Union[Game, KernelGame], *, symmetry: bool = True):
+    def __init__(
+        self,
+        game_or_kernel: Union[Game, KernelGame, RestrictedGame],
+        *,
+        symmetry: bool = True,
+        allowed: Optional[Mapping[Miner, Sequence[Coin]]] = None,
+    ):
+        if isinstance(game_or_kernel, RestrictedGame):
+            if allowed is not None:
+                raise InvalidModelError(
+                    "pass either a RestrictedGame or an allowed= mask, not both"
+                )
+            allowed = game_or_kernel.allowed_map()
+            game_or_kernel = game_or_kernel.game
         kernel = (
             game_or_kernel
             if isinstance(game_or_kernel, KernelGame)
@@ -108,23 +161,54 @@ class ConfigSpace:
         self._place: List[int] = [
             self.n_coins ** (self.n_miners - 1 - i) for i in range(self.n_miners)
         ]
-        self.size: int = self.n_coins**self.n_miners
-        # Equal-power blocks: miner indices grouped by (scaled) power,
-        # in miner order. Only blocks of size ≥ 2 generate symmetry.
-        by_power: Dict[int, List[int]] = {}
+        # Per-miner digit alphabets: the ascending coin indices each
+        # miner may sit on. A trivial mask (everything allowed)
+        # normalizes to None, so the unrestricted paths below stay
+        # byte-for-byte the unmasked code.
+        mask = normalize_mask(self.game, allowed)
+        if mask is None:
+            self._allowed_idx: Optional[Tuple[Tuple[int, ...], ...]] = None
+            full = tuple(range(self.n_coins))
+            self._alphabets: Tuple[Tuple[int, ...], ...] = (full,) * self.n_miners
+            self._allowed_sets: Optional[Tuple[FrozenSet[int], ...]] = None
+        else:
+            coin_index = kernel.coin_index
+            self._allowed_idx = tuple(
+                tuple(coin_index[coin] for coin in mask[miner])
+                for miner in self.game.miners
+            )
+            self._alphabets = self._allowed_idx
+            self._allowed_sets = tuple(frozenset(a) for a in self._allowed_idx)
+        self.masked: bool = self._allowed_idx is not None
+        size = 1
+        for alphabet in self._alphabets:
+            size *= len(alphabet)
+        #: Number of (mask-valid) configurations; ``|C|^n`` unmasked.
+        self.size: int = size
+        # Symmetry blocks: miner indices grouped by (scaled power,
+        # alphabet), in miner order. Two miners generate a graph
+        # automorphism only when both match — equal power makes their
+        # payoffs interchangeable, equal alphabets make the *legality*
+        # of every move interchangeable. Only blocks of size ≥ 2
+        # generate symmetry.
+        by_key: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
         for i, power in enumerate(kernel.powers):
-            by_power.setdefault(power, []).append(i)
-        self._blocks: List[Tuple[Tuple[int, ...], int]] = [
-            (tuple(indices), power)
-            for power, indices in sorted(by_power.items(), key=lambda kv: kv[1][0])
+            by_key.setdefault((power, self._alphabets[i]), []).append(i)
+        self._blocks: List[Tuple[Tuple[int, ...], int, Tuple[int, ...]]] = [
+            (tuple(indices), power, alphabet)
+            for (power, alphabet), indices in sorted(
+                by_key.items(), key=lambda kv: kv[1][0]
+            )
         ]
         self._block_of: List[int] = [0] * self.n_miners
-        for b, (indices, _) in enumerate(self._blocks):
+        for b, (indices, _, _) in enumerate(self._blocks):
             for i in indices:
                 self._block_of[i] = b
-        self.has_symmetry: bool = any(len(indices) > 1 for indices, _ in self._blocks)
+        self.has_symmetry: bool = any(len(indices) > 1 for indices, _, _ in self._blocks)
         self.symmetry = symmetry and self.has_symmetry
-        self._block_choices: Optional[List[List[Tuple[Tuple[int, ...], List[Tuple[int, int]], int]]]] = None
+        self._block_choices: Optional[
+            List[List[Tuple[Tuple[int, ...], List[Tuple[int, int]], int]]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Codes ↔ configurations
@@ -156,17 +240,42 @@ class ConfigSpace:
         """Integer mass vector for an assignment (one O(n) pass)."""
         return self.kernel.mass_of(assign)
 
+    def is_valid_assign(self, assign: Sequence[int]) -> bool:
+        """Whether every miner sits on a coin its mask allows."""
+        if self._allowed_sets is None:
+            return True
+        sets = self._allowed_sets
+        return all(assign[i] in sets[i] for i in range(self.n_miners))
+
+    def _require_valid(self, assign: Sequence[int]) -> None:
+        # Same exception type as RestrictedGame.validate_configuration,
+        # so space and exact backends fail identically on bad starts.
+        if self._allowed_sets is None:
+            return
+        for i, j in enumerate(assign):
+            if j not in self._allowed_sets[i]:
+                raise InvalidConfigurationError(
+                    f"miner {self.kernel.miner_names[i]!r} sits on coin "
+                    f"{self.kernel.coin_names[j]!r} which its mask does not allow"
+                )
+
     # ------------------------------------------------------------------
     # Walks (in-place state; copy before keeping)
     # ------------------------------------------------------------------
 
     def iter_gray(self) -> Iterator[Tuple[int, List[int], List[int]]]:
-        """Walk all codes in reflected mixed-radix Gray order.
+        """Walk all (mask-valid) codes in reflected mixed-radix Gray order.
 
-        Exactly one miner changes coin (by ±1) between consecutive
-        nodes, so ``mass`` and ``code`` update in O(1) per step.
+        Exactly one miner changes coin between consecutive nodes, so
+        ``mass`` and ``code`` update in O(1) per step. Under a mask each
+        miner's digit runs over its own alphabet of allowed coin
+        indices (per-miner radices); the Gray walk operates on digit
+        *positions*, so one ±1 digit step is still one coin change.
         Yields ``(code, assign, mass)`` with *shared mutable* lists.
         """
+        if self._allowed_idx is not None:
+            yield from self._iter_gray_masked()
+            return
         n, k = self.n_miners, self.n_coins
         powers = self.kernel.powers
         place = self._place
@@ -199,12 +308,66 @@ class ConfigSpace:
                 focus[j] = focus[j + 1]
                 focus[j + 1] = j + 1
 
-    def iter_product(self) -> Iterator[Tuple[int, List[int], List[int]]]:
-        """Walk all codes in ascending (product) order — the seed's order.
+    def _iter_gray_masked(self) -> Iterator[Tuple[int, List[int], List[int]]]:
+        """Algorithm H over per-miner alphabets (mask-valid codes only).
 
-        The odometer changes amortized O(1) digits per step, so ``mass``
-        is still maintained incrementally. Yields shared mutable lists.
+        Digits with a single-coin alphabet never change, so the walk
+        runs over the *active* miners only; digit positions map to coin
+        indices through each miner's alphabet, keeping every update
+        O(1).
         """
+        n = self.n_miners
+        powers = self.kernel.powers
+        place = self._place
+        alphabets = self._alphabets
+        assign = [alphabet[0] for alphabet in alphabets]
+        mass = [0] * self.n_coins
+        for i, j in enumerate(assign):
+            mass[j] += powers[i]
+        code = sum(assign[i] * place[i] for i in range(n))
+        active = [i for i in range(n) if len(alphabets[i]) > 1]
+        if not active:
+            yield code, assign, mass
+            return
+        m = len(active)
+        digit = [0] * m
+        direction = [1] * m
+        focus = list(range(m + 1))
+        while True:
+            yield code, assign, mass
+            t = focus[0]
+            focus[0] = 0
+            if t == m:
+                return
+            i = active[t]
+            alphabet = alphabets[i]
+            d = digit[t] + direction[t]
+            digit[t] = d
+            old = assign[i]
+            new = alphabet[d]
+            assign[i] = new
+            power = powers[i]
+            mass[old] -= power
+            mass[new] += power
+            code += (new - old) * place[i]
+            if d == 0 or d == len(alphabet) - 1:
+                direction[t] = -direction[t]
+                focus[t] = focus[t + 1]
+                focus[t + 1] = t + 1
+
+    def iter_product(self) -> Iterator[Tuple[int, List[int], List[int]]]:
+        """Walk all (mask-valid) codes in ascending (product) order.
+
+        This is the seed's scan order: ascending code order equals
+        lexicographic order on assignments, and — because alphabets are
+        ascending coin indices — equals the product order over
+        per-miner allowed sets for restricted games. The odometer
+        changes amortized O(1) digits per step, so ``mass`` is still
+        maintained incrementally. Yields shared mutable lists.
+        """
+        if self._allowed_idx is not None:
+            yield from self._iter_product_masked()
+            return
         n, k = self.n_miners, self.n_coins
         powers = self.kernel.powers
         place = self._place
@@ -232,28 +395,65 @@ class ConfigSpace:
             mass[old + 1] += power
             code += place[i]
 
+    def _iter_product_masked(self) -> Iterator[Tuple[int, List[int], List[int]]]:
+        """The odometer over per-miner alphabets (digit → alphabet coin)."""
+        n = self.n_miners
+        powers = self.kernel.powers
+        place = self._place
+        alphabets = self._alphabets
+        digit = [0] * n
+        assign = [alphabet[0] for alphabet in alphabets]
+        mass = [0] * self.n_coins
+        for i, j in enumerate(assign):
+            mass[j] += powers[i]
+        code = sum(assign[i] * place[i] for i in range(n))
+        while True:
+            yield code, assign, mass
+            i = n - 1
+            while i >= 0 and digit[i] == len(alphabets[i]) - 1:
+                old = assign[i]
+                new = alphabets[i][0]
+                power = powers[i]
+                mass[old] -= power
+                mass[new] += power
+                code += (new - old) * place[i]
+                assign[i] = new
+                digit[i] = 0
+                i -= 1
+            if i < 0:
+                return
+            d = digit[i] + 1
+            old = assign[i]
+            new = alphabets[i][d]
+            digit[i] = d
+            assign[i] = new
+            power = powers[i]
+            mass[old] -= power
+            mass[new] += power
+            code += (new - old) * place[i]
+
     # ------------------------------------------------------------------
     # Symmetry: canonical orbit representatives
     # ------------------------------------------------------------------
 
     def orbit_count(self) -> int:
-        """Number of canonical representatives under equal-power symmetry."""
-        k = self.n_coins
+        """Number of canonical representatives under (power, mask) symmetry."""
         total = 1
-        for indices, _ in self._blocks:
-            total *= comb(len(indices) + k - 1, k - 1)
+        for indices, _, alphabet in self._blocks:
+            m = len(alphabet)
+            total *= comb(len(indices) + m - 1, m - 1)
         return total
 
     def _choices(self) -> List[List[Tuple[Tuple[int, ...], List[Tuple[int, int]], int]]]:
-        """Per block: every non-decreasing coin-index tuple, its per-coin
-        counts and its orbit multiplicity (the multinomial coefficient)."""
+        """Per block: every non-decreasing coin-index tuple drawn from
+        the block's alphabet, its per-coin counts and its orbit
+        multiplicity (the multinomial coefficient)."""
         if self._block_choices is None:
-            k = self.n_coins
             choices = []
-            for indices, _ in self._blocks:
+            for indices, _, alphabet in self._blocks:
                 size = len(indices)
                 block = []
-                for combo in itertools.combinations_with_replacement(range(k), size):
+                for combo in itertools.combinations_with_replacement(alphabet, size):
                     counts: Dict[int, int] = {}
                     for j in combo:
                         counts[j] = counts.get(j, 0) + 1
@@ -269,9 +469,11 @@ class ConfigSpace:
         """Walk one canonical representative per symmetry orbit.
 
         Canonical means coin indices are non-decreasing along each
-        equal-power block (in miner order). Yields ``(assign, mass,
-        orbit_size)`` with shared mutable ``assign``/``mass``; the mass
-        is maintained incrementally per block choice.
+        equal-power-equal-mask block (in miner order); every block
+        member shares the block's alphabet, so every orbit member is
+        mask-valid. Yields ``(assign, mass, orbit_size)`` with shared
+        mutable ``assign``/``mass``; the mass is maintained
+        incrementally per block choice.
         """
         blocks = self._blocks
         choices = self._choices()
@@ -283,7 +485,7 @@ class ConfigSpace:
             if b == n_blocks:
                 yield assign, mass, mult
                 return
-            indices, power = blocks[b]
+            indices, power, _ = blocks[b]
             for combo, counts, m in choices[b]:
                 for pos, j in zip(indices, combo):
                     assign[pos] = j
@@ -299,7 +501,7 @@ class ConfigSpace:
         """The code of the canonical representative of ``assign``'s orbit."""
         place = self._place
         code = 0
-        for indices, _ in self._blocks:
+        for indices, _, _ in self._blocks:
             values = sorted(assign[i] for i in indices)
             for pos, value in zip(indices, values):
                 code += value * place[pos]
@@ -309,7 +511,7 @@ class ConfigSpace:
         """All full-space codes in the symmetry orbit of ``assign``."""
         place = self._place
         per_block: List[List[int]] = []
-        for indices, _ in self._blocks:
+        for indices, _, _ in self._blocks:
             values = sorted(assign[i] for i in indices)
             block_codes = [
                 sum(value * place[pos] for pos, value in zip(indices, perm))
@@ -323,30 +525,25 @@ class ConfigSpace:
     # ------------------------------------------------------------------
 
     def is_stable_state(self, assign: Sequence[int], mass: Sequence[int]) -> bool:
-        """Early-exit stability of an (assign, mass) state."""
-        rewards = self.kernel.rewards
-        powers = self.kernel.powers
-        k = self.n_coins
-        for i in range(self.n_miners):
-            cur = assign[i]
-            reward_cur = rewards[cur]
-            mass_cur = mass[cur]
-            power = powers[i]
-            for j in range(k):
-                if j != cur and rewards[j] * mass_cur > reward_cur * (mass[j] + power):
-                    return False
-        return True
+        """Early-exit (restricted) stability of an (assign, mass) state.
+
+        Delegates to :meth:`KernelGame.stable_index`, the single home
+        of the stability cross-multiplication, passing the mask's
+        candidate lists (``None`` when unrestricted).
+        """
+        return self.kernel.stable_index(assign, mass, self._allowed_idx)
 
     def successor_codes(
         self, code: int, assign: Sequence[int], mass: Sequence[int]
     ) -> List[int]:
         """Better-response successor codes (miners outer, coins inner —
         the seed's :func:`~repro.analysis.paths.improvement_graph` edge
-        order)."""
+        order). Under a mask only each miner's allowed coins are
+        candidates, so successors of a valid code are always valid."""
         rewards = self.kernel.rewards
         powers = self.kernel.powers
         place = self._place
-        k = self.n_coins
+        alphabets = self._alphabets
         result: List[int] = []
         for i in range(self.n_miners):
             cur = assign[i]
@@ -354,14 +551,16 @@ class ConfigSpace:
             mass_cur = mass[cur]
             power = powers[i]
             base = code - cur * place[i]
-            for j in range(k):
+            for j in alphabets[i]:
                 if j != cur and rewards[j] * mass_cur > reward_cur * (mass[j] + power):
                     result.append(base + j * place[i])
         return result
 
     def successors(self, code: int) -> List[int]:
-        """Successor codes of an arbitrary code (decodes first)."""
+        """Successor codes of an arbitrary code (decodes first; a
+        mask-invalid code raises :class:`InvalidModelError`)."""
         assign = self.decode(code)
+        self._require_valid(assign)
         return self.successor_codes(code, assign, self.kernel.mass_of(assign))
 
     # ------------------------------------------------------------------
@@ -369,7 +568,7 @@ class ConfigSpace:
     # ------------------------------------------------------------------
 
     def stable_codes(self, *, max_codes: Optional[int] = None) -> List[int]:
-        """Codes of all pure equilibria, ascending (= seed scan order).
+        """Codes of all pure (restricted) equilibria, ascending.
 
         With symmetry reduction only canonical representatives are
         stability-checked; stable orbits are then expanded to all their
@@ -402,7 +601,7 @@ class ConfigSpace:
         return codes
 
     def equilibria(self, *, max_codes: Optional[int] = None) -> List[Configuration]:
-        """All pure equilibria, in the seed's enumeration order."""
+        """All pure (restricted) equilibria, in the seed's enumeration order."""
         return [self.config_of(code) for code in self.stable_codes(max_codes=max_codes)]
 
     def iter_equilibria(self) -> Iterator[Configuration]:
@@ -426,9 +625,9 @@ class ConfigSpace:
         With symmetry the analysis runs on the orbit quotient graph
         (successors canonicalized), which is acyclic iff the full graph
         is and has the same longest-path length — better-response
-        structure is invariant under permuting equal-power miners.
-        ``max_sinks`` caps the orbit-expanded sink list (see
-        :meth:`stable_codes`).
+        structure is invariant under permuting miners with equal power
+        *and* equal allowed set. ``max_sinks`` caps the orbit-expanded
+        sink list (see :meth:`stable_codes`).
         """
         use_symmetry = self.symmetry if symmetry is None else (symmetry and self.has_symmetry)
         if use_symmetry:
@@ -436,6 +635,8 @@ class ConfigSpace:
         return self._dag_full()
 
     def _dag_full(self) -> DagReport:
+        if self._allowed_idx is not None:
+            return self._dag_full_masked()
         total = self.size
         succ: List[Sequence[int]] = [()] * total
         for code, assign, mass in self.iter_gray():
@@ -453,13 +654,39 @@ class ConfigSpace:
             symmetry_reduced=False,
         )
 
+    def _dag_full_masked(self) -> DagReport:
+        # Valid codes are sparse in the full code range, so the flat
+        # code-indexed successor array of the unmasked path does not
+        # apply; rank nodes densely in product (= ascending code) order
+        # instead, which also makes sinks come out pre-sorted.
+        codes: List[int] = []
+        edge_lists: List[List[int]] = []
+        for code, assign, mass in self.iter_product():
+            codes.append(code)
+            edge_lists.append(self.successor_codes(code, assign, mass))
+        index = {code: rank for rank, code in enumerate(codes)}
+        succ: List[Sequence[int]] = [
+            tuple(index[child] for child in edges) if edges else ()
+            for edges in edge_lists
+        ]
+        acyclic, longest = _longest_path_over(succ)
+        sinks = tuple(codes[rank] for rank in range(len(codes)) if not succ[rank])
+        return DagReport(
+            acyclic=acyclic,
+            longest_path=longest,
+            sink_codes=sinks,
+            nodes_scanned=len(codes),
+            total_configurations=self.size,
+            symmetry_reduced=False,
+        )
+
     def _dag_quotient(self, *, max_sinks: Optional[int] = None) -> DagReport:
         place = self._place
         block_of = self._block_of
         blocks = self._blocks
         rewards = self.kernel.rewards
         powers = self.kernel.powers
-        k = self.n_coins
+        alphabets = self._alphabets
         index: Dict[int, int] = {}
         for assign, _, _ in self.iter_canonical():
             index[self.encode(assign)] = len(index)
@@ -475,12 +702,12 @@ class ConfigSpace:
                 reward_cur = rewards[cur]
                 mass_cur = mass[cur]
                 power = powers[i]
-                for j in range(k):
+                for j in alphabets[i]:
                     if j == cur or rewards[j] * mass_cur <= reward_cur * (mass[j] + power):
                         continue
                     # Canonicalize the successor: only miner i's block
                     # loses its sorted order, so re-sort that block.
-                    indices, _ = blocks[block_of[i]]
+                    indices, _, _ = blocks[block_of[i]]
                     child = code
                     values = sorted(j if p == i else assign[p] for p in indices)
                     for pos, value in zip(indices, values):
@@ -517,9 +744,11 @@ class ConfigSpace:
 
         Mirrors the seed's DFS (LIFO frontier, successors pushed in
         miner-then-coin order, sinks appended as popped) so results —
-        including list order — are identical to the Fraction path.
+        including list order — are identical to the Fraction path. A
+        mask-invalid ``start`` raises :class:`InvalidModelError`.
         """
         kernel = self.kernel
+        self._require_valid(self.decode(start))
         frontier = [start]
         seen = {start}
         sinks: List[int] = []
@@ -546,15 +775,18 @@ class ConfigSpace:
         Returns ``(start_code, miner_a, coin_a, miner_b, coin_b)`` or
         ``None`` when every 4-cycle of unilateral deviations closes
         (Monderer & Shapley's criterion: an exact potential exists).
-        The defect's *zeroness* is scale-invariant, so the scan tests
-        the integer-scaled sum ``Σ ± p·R/mass`` accumulated over one
-        common denominator — no Fraction per cycle.
+        Under a mask only *legal* cycles are scanned — starts are
+        mask-valid and each deviation stays within the deviator's
+        allowed set. The defect's *zeroness* is scale-invariant, so the
+        scan tests the integer-scaled sum ``Σ ± p·R/mass`` accumulated
+        over one common denominator — no Fraction per cycle.
         """
         n, k = self.n_miners, self.n_coins
         if n < 2 or k < 2:
             return None
         rewards = self.kernel.rewards
         powers = self.kernel.powers
+        alphabets = self._alphabets
         pairs = list(itertools.combinations(range(n), 2))
         for code, assign, mass in self.iter_product():
             for a, b in pairs:
@@ -562,13 +794,13 @@ class ConfigSpace:
                 cb = assign[b]
                 pa = powers[a]
                 pb = powers[b]
-                for ja in range(k):
+                for ja in alphabets[a]:
                     if ja == ca:
                         continue
                     mass1 = list(mass)
                     mass1[ca] -= pa
                     mass1[ja] += pa
-                    for jb in range(k):
+                    for jb in alphabets[b]:
                         if jb == cb:
                             continue
                         mass2 = list(mass1)
@@ -598,7 +830,8 @@ class ConfigSpace:
     def __repr__(self) -> str:
         return (
             f"ConfigSpace({self.game!r}, size={self.size}, "
-            f"symmetry={'on' if self.symmetry else 'off'})"
+            f"symmetry={'on' if self.symmetry else 'off'}, "
+            f"mask={'on' if self.masked else 'off'})"
         )
 
 

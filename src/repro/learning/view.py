@@ -43,7 +43,7 @@ from repro.core.coin import Coin
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
-from repro.exceptions import InvalidModelError
+from repro.core.restricted import normalize_mask
 
 #: The backend strings :func:`make_view` (and every engine) accepts.
 BACKENDS = ("fast", "exact")
@@ -155,51 +155,9 @@ class GameView(abc.ABC):
         """
 
 
-def _normalize_mask(
-    game: Game, allowed: Optional[Mapping[Miner, Sequence[Coin]]]
-) -> Optional[Dict[Miner, Tuple[Coin, ...]]]:
-    """Per-miner allowed coins, ascending in game coin order; None = all.
-
-    A miner missing from the mapping is unrestricted; a listed miner
-    must belong to the game and keep at least one coin, and every
-    listed coin must be a game coin — a typo'd mask raises instead of
-    silently freezing a miner as "stable". Masks that allow every coin
-    for every miner collapse to ``None`` so the unrestricted hot path
-    stays mask-free.
-    """
-    if allowed is None:
-        return None
-    coins = game.coins
-    coin_set = set(coins)
-    miner_set = set(game.miners)
-    for miner in allowed:
-        if miner not in miner_set:
-            raise InvalidModelError(
-                f"allowed-coin mask names miner {miner.name!r} which is not "
-                "in this game"
-            )
-        if not tuple(allowed[miner]):
-            raise InvalidModelError(
-                f"miner {miner.name!r} must be allowed at least one coin"
-            )
-        for coin in allowed[miner]:
-            if coin not in coin_set:
-                raise InvalidModelError(
-                    f"allowed-coin mask gives miner {miner.name!r} unknown "
-                    f"coin {coin.name!r}"
-                )
-    mask: Dict[Miner, Tuple[Coin, ...]] = {}
-    trivial = True
-    for miner in game.miners:
-        if miner in allowed:
-            allowed_set = set(allowed[miner])
-            ordered = tuple(coin for coin in coins if coin in allowed_set)
-        else:
-            ordered = coins
-        if len(ordered) != len(coins):
-            trivial = False
-        mask[miner] = ordered
-    return None if trivial else mask
+# The mask normalizer lives with the restricted-game model in core;
+# the legacy private name is kept for this layer's existing importers.
+_normalize_mask = normalize_mask
 
 
 class ExactView(GameView):
