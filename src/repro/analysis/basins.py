@@ -18,16 +18,15 @@ against "pay for the mechanism".
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.configuration import Configuration
-from repro.core.factories import random_configuration
 from repro.core.game import Game
 from repro.kernel.batch import BatchRunner
-from repro.learning.engine import LearningEngine
 from repro.learning.policies import BetterResponsePolicy
-from repro.util.rng import RngLike, spawn_rngs
+from repro.util.rng import RngLike
 
 
 @dataclass(frozen=True)
@@ -89,20 +88,31 @@ def basin_profile(
     policy: Optional[BetterResponsePolicy] = None,
     seed: RngLike = None,
     backend: str = "fast",
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
 ) -> BasinProfile:
     """Estimate the landing distribution from uniform random starts.
 
-    Passing a :class:`~repro.kernel.batch.BatchRunner` as *runner*
-    executes the sample trajectories through it (possibly across worker
-    processes); its seeding scheme matches the serial loop — stream
-    ``2i`` draws start *i*, stream ``2i+1`` drives its engine — so the
-    counts are identical either way.
+    Sampling routes through :func:`repro.run_many` — *executor* picks
+    the mechanism (``"vectorized"`` tensor kernel, pooled workers, or
+    ``"auto"``); the seeding scheme is the library-wide convention
+    (stream ``2i`` draws start *i*, stream ``2i+1`` drives its engine),
+    so the counts are identical in every mode.
+
+    .. deprecated:: 1.2
+        ``runner=`` — pass ``executor=`` / ``max_workers=`` instead.
     """
     if samples < 1:
         raise ValueError(f"samples must be ≥ 1, got {samples}")
     counts: Dict[Configuration, int] = {}
     if runner is not None:
+        warnings.warn(
+            "runner= is deprecated; pass executor= (and max_workers=) instead — "
+            "execution now routes through repro.run_many",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if runner.backend != backend:
             raise ValueError(
                 f"backend={backend!r} conflicts with runner.backend="
@@ -114,15 +124,24 @@ def basin_profile(
             policy=policy,
             seed=seed if isinstance(seed, int) else None,
         )
-        for summary in summaries:
-            final = summary.final_configuration(game)
-            counts[final] = counts.get(final, 0) + 1
-        return BasinProfile(counts=counts, samples=samples)
-    rngs = spawn_rngs(seed if isinstance(seed, int) else None, 2 * samples)
-    engine = LearningEngine(policy=policy, record_configurations=False, backend=backend)
-    for index in range(samples):
-        start = random_configuration(game, seed=rngs[2 * index])
-        final = engine.run(game, start, seed=rngs[2 * index + 1]).final
+    else:
+        from repro.run import RunSpec, run_many
+
+        summaries = run_many(
+            [
+                RunSpec(
+                    game=game,
+                    runs=samples,
+                    policy=policy,
+                    backend=backend,
+                    seed=seed if isinstance(seed, int) else None,
+                )
+            ],
+            executor=executor,
+            max_workers=max_workers,
+        )[0]
+    for summary in summaries:
+        final = summary.final_configuration(game)
         counts[final] = counts.get(final, 0) + 1
     return BasinProfile(counts=counts, samples=samples)
 
@@ -134,11 +153,19 @@ def basin_by_policy(
     samples: int = 30,
     seed: int = 0,
     backend: str = "fast",
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> Dict[str, BasinProfile]:
     """Landing distributions per policy (shared starting points)."""
     return {
         policy.name: basin_profile(
-            game, samples=samples, policy=policy, seed=seed, backend=backend
+            game,
+            samples=samples,
+            policy=policy,
+            seed=seed,
+            backend=backend,
+            executor=executor,
+            max_workers=max_workers,
         )
         for policy in policies
     }

@@ -3,10 +3,18 @@
 Theorem 1 says every improving path is finite; these helpers measure
 *how* finite — the empirical step counts across random games, policies
 and schedulers — and audit the potential argument on live trajectories.
+
+Execution routes through :func:`repro.run_many` (one
+:class:`~repro.run.RunSpec` cell per measurement): pass ``executor=``
+to pick the mechanism — ``"vectorized"`` for the tensor population
+kernel, ``"process"``/``"thread"`` for pools, ``"auto"`` (default) to
+let the library choose. Statistics are identical across every mode.
+The old ``runner=`` kwarg still works but is deprecated.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -46,6 +54,29 @@ class ConvergenceStats:
         ]
 
 
+def stats_from_steps(steps: Sequence[int], *, monotone: int) -> ConvergenceStats:
+    """Fold raw per-run step counts into a :class:`ConvergenceStats`."""
+    array = np.array(steps, dtype=float)
+    return ConvergenceStats(
+        runs=len(steps),
+        mean_steps=float(array.mean()),
+        median_steps=float(np.median(array)),
+        p95_steps=float(np.percentile(array, 95)),
+        max_steps=int(array.max()),
+        potential_monotone_fraction=monotone / len(steps),
+    )
+
+
+def _deprecated_runner(runner: Optional[BatchRunner]) -> None:
+    if runner is not None:
+        warnings.warn(
+            "runner= is deprecated; pass executor= (and max_workers=) instead — "
+            "execution now routes through repro.run_many",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
 def measure_convergence(
     game: Game,
     *,
@@ -55,60 +86,69 @@ def measure_convergence(
     audit_potential: bool = False,
     seed: RngLike = None,
     backend: str = "fast",
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
 ) -> ConvergenceStats:
     """Run learning *runs* times from random starts and summarize steps.
 
     *backend* selects the numeric loop (``"fast"`` kernel vs
-    ``"exact"`` Fractions — identical step counts either way). Passing
-    a :class:`~repro.kernel.batch.BatchRunner` as *runner* executes the
-    runs through it (possibly across worker processes); its seeding
-    scheme matches the serial loop, so the statistics are identical.
-    Potential audits need full trajectories and therefore always run
-    serially in-process.
+    ``"exact"`` Fractions — identical step counts either way);
+    *executor* selects the mechanism (see :func:`repro.run_many` —
+    identical statistics in every mode). Potential audits need full
+    trajectories and therefore always run serially in-process.
+
+    .. deprecated:: 1.2
+        ``runner=`` — pass ``executor=`` / ``max_workers=`` instead.
     """
     if runs < 1:
         raise ValueError(f"runs must be ≥ 1, got {runs}")
+    _deprecated_runner(runner)
     if runner is not None and runner.backend != backend:
         raise ValueError(
             f"backend={backend!r} conflicts with runner.backend={runner.backend!r}; "
             "configure the backend on one of them"
         )
     root_seed = seed if isinstance(seed, int) else None
-    steps: List[int] = []
-    monotone = 0
-    if runner is not None and not audit_potential:
-        summaries = runner.run(
-            game, runs=runs, policy=policy, scheduler=scheduler, seed=root_seed
-        )
-        steps = [summary.steps for summary in summaries]
-        monotone = runs
-    else:
+    if audit_potential:
         rngs = spawn_rngs(root_seed, 2 * runs)
         engine = LearningEngine(
             policy=policy,
             scheduler=scheduler,
-            record_configurations=audit_potential,
+            record_configurations=True,
             backend=backend,
         )
+        steps: List[int] = []
+        monotone = 0
         for run_index in range(runs):
             start = random_configuration(game, seed=rngs[2 * run_index])
             trajectory = engine.run(game, start, seed=rngs[2 * run_index + 1])
             steps.append(trajectory.length)
-            if audit_potential:
-                if is_strictly_increasing_along(game, trajectory.configurations):
-                    monotone += 1
-            else:
+            if is_strictly_increasing_along(game, trajectory.configurations):
                 monotone += 1
-    array = np.array(steps, dtype=float)
-    return ConvergenceStats(
-        runs=runs,
-        mean_steps=float(array.mean()),
-        median_steps=float(np.median(array)),
-        p95_steps=float(np.percentile(array, 95)),
-        max_steps=int(array.max()),
-        potential_monotone_fraction=monotone / runs,
-    )
+        return stats_from_steps(steps, monotone=monotone)
+    if runner is not None:
+        summaries = runner.run(
+            game, runs=runs, policy=policy, scheduler=scheduler, seed=root_seed
+        )
+    else:
+        from repro.run import RunSpec, run_many
+
+        summaries = run_many(
+            [
+                RunSpec(
+                    game=game,
+                    runs=runs,
+                    policy=policy,
+                    scheduler=scheduler,
+                    backend=backend,
+                    seed=root_seed,
+                )
+            ],
+            executor=executor,
+            max_workers=max_workers,
+        )[0]
+    return stats_from_steps([summary.steps for summary in summaries], monotone=runs)
 
 
 def convergence_sweep(
@@ -121,6 +161,8 @@ def convergence_sweep(
     power_distribution: str = "uniform",
     seed: int = 0,
     backend: str = "fast",
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
 ) -> Dict[tuple, ConvergenceStats]:
     """The E2 grid: convergence stats per (n miners, k coins) cell."""
@@ -141,6 +183,8 @@ def convergence_sweep(
                 scheduler=scheduler,
                 seed=int(rng.integers(0, 2**31)),
                 backend=backend,
+                executor=executor,
+                max_workers=max_workers,
                 runner=runner,
             )
     return results

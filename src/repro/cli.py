@@ -4,14 +4,15 @@ Commands
 --------
 ``list``
     Show the available experiments with one-line descriptions.
-``run E7 [--seed N] [--fast] [--backend B] [--workers N]``
+``run E7 [--seed N] [--fast] [--backend B] [--executor X] [--workers N]``
     Run one experiment and print its table (``--fast`` shrinks the
-    workload for a quick look; ``--backend``/``--workers`` are passed
-    through to runners that accept them — same numbers, different
-    speed).
+    workload for a quick look; ``--backend``/``--executor``/``--workers``
+    are passed through to runners that accept them — same numbers,
+    different speed; ``--workers`` is the deprecated spelling of
+    ``--executor process``).
 ``all [--fast]``
     Run every experiment in order.
-``demo [--miners N] [--coins K] [--seed N] [--backend B] [--workers N] [--noisy]``
+``demo [--miners N] [--coins K] [--seed N] [--backend B] [--executor X] [--noisy]``
     Generate a random game, converge learning from a random start, and
     print the equilibrium with payoffs and a basin profile.
     ``--noisy`` additionally runs the sample-based learner from the
@@ -49,10 +50,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="numeric backend for runners that accept one (identical results)",
     )
     run.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process", "vectorized"),
+        default=None,
+        help="batch mechanism for runners that accept one (identical results)",
+    )
+    run.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes for runners that accept them (0 = serial)",
+        help="deprecated: use --executor process (0 = serial)",
     )
 
     run_all = subparsers.add_parser("all", help="run every experiment")
@@ -70,10 +77,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="learning-loop arithmetic (identical trajectories)",
     )
     demo.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process", "vectorized"),
+        default="auto",
+        help="batch mechanism for the basin sampling (identical results)",
+    )
+    demo.add_argument(
         "--workers",
         type=int,
         default=0,
-        help="fan the basin sampling out over N worker processes",
+        help="deprecated: use --executor process",
     )
     demo.add_argument(
         "--noisy",
@@ -108,16 +121,18 @@ def _cmd_run(
     fast: bool,
     out,
     backend: Optional[str] = None,
+    executor: Optional[str] = None,
     workers: Optional[int] = None,
 ) -> int:
     spec = EXPERIMENTS[name]
     params = dict(spec.fast_params) if fast else {}
     params["seed"] = seed
     # Forward only the knobs the experiment declares it accepts; the
-    # CLI stays uniform while experiments adopt backend/workers
+    # CLI stays uniform while experiments adopt backend/executor
     # incrementally.
     for knob, value, accepted in (
         ("backend", backend, spec.accepts_backend),
+        ("executor", executor, spec.accepts_executor),
         ("workers", workers, spec.accepts_workers),
     ):
         if value is not None:
@@ -137,6 +152,7 @@ def _cmd_demo(
     seed: int,
     out,
     backend: str = "fast",
+    executor: str = "auto",
     workers: int = 0,
     noisy: bool = False,
     budget: int = 64,
@@ -144,6 +160,7 @@ def _cmd_demo(
     from repro.analysis.basins import basin_profile
     from repro.analysis.welfare import payoff_distribution
     from repro.core.factories import random_configuration, random_game
+    from repro.experiments.common import resolve_execution
     from repro.learning.engine import LearningEngine
 
     game = random_game(miners, coins, seed=seed)
@@ -156,17 +173,11 @@ def _cmd_demo(
     out.write("payoffs:\n")
     for name, payoff in payoff_distribution(game, trajectory.final).items():
         out.write(f"  {name}: {float(payoff):.3f}\n")
-    if workers > 0:
-        from repro.kernel.batch import BatchRunner
-
-        with BatchRunner(
-            backend=backend, executor="process", max_workers=workers
-        ) as runner:
-            profile = basin_profile(
-                game, samples=25, seed=seed + 3, backend=backend, runner=runner
-            )
-    else:
-        profile = basin_profile(game, samples=25, seed=seed + 3, backend=backend)
+    executor, max_workers = resolve_execution(executor=executor, workers=workers)
+    profile = basin_profile(
+        game, samples=25, seed=seed + 3, backend=backend,
+        executor=executor, max_workers=max_workers,
+    )
     out.write(
         f"basins: {profile.distinct_equilibria} equilibria reached from 25 starts, "
         f"entropy {profile.entropy():.2f} bits\n"
@@ -208,7 +219,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "run":
         return _cmd_run(
             args.experiment, args.seed, args.fast, out,
-            backend=args.backend, workers=args.workers,
+            backend=args.backend, executor=args.executor, workers=args.workers,
         )
     if args.command == "all":
         code = 0
@@ -219,7 +230,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "demo":
         return _cmd_demo(
             args.miners, args.coins, args.seed, out,
-            backend=args.backend, workers=args.workers,
+            backend=args.backend, executor=args.executor, workers=args.workers,
             noisy=args.noisy, budget=args.budget,
         )
     if args.command == "migrate":

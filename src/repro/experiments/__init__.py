@@ -3,7 +3,8 @@
 Each module exposes ``run(**params) -> ExperimentResult`` plus its own
 metadata — ``DESCRIPTION``, the ``--fast`` parameter set
 (``FAST_PARAMS``) and declared CLI knob capabilities
-(``ACCEPTS_BACKEND`` / ``ACCEPTS_WORKERS``). The :data:`EXPERIMENTS`
+(``ACCEPTS_BACKEND`` / ``ACCEPTS_EXECUTOR`` / ``ACCEPTS_WORKERS``).
+The :data:`EXPERIMENTS`
 registry collects that metadata into :class:`ExperimentSpec` records so
 the CLI (and the ``benchmarks/`` harness) never re-derive it from
 signatures or parallel dicts.
@@ -43,10 +44,11 @@ class ExperimentSpec:
     description: str
     #: The shrunken parameter set behind the CLI's ``--fast`` flag.
     fast_params: Mapping[str, Any] = field(default_factory=dict)
-    #: Whether ``run`` takes a ``backend=`` / ``workers=`` knob. The
-    #: CLI forwards the flags only where declared — no signature
-    #: inspection.
+    #: Whether ``run`` takes a ``backend=`` / ``executor=`` /
+    #: ``workers=`` knob. The CLI forwards the flags only where
+    #: declared — no signature inspection.
     accepts_backend: bool = False
+    accepts_executor: bool = False
     accepts_workers: bool = False
 
 
@@ -57,6 +59,7 @@ def _spec(name: str, module: ModuleType) -> ExperimentSpec:
         description=module.DESCRIPTION,
         fast_params=dict(module.FAST_PARAMS),
         accepts_backend=getattr(module, "ACCEPTS_BACKEND", False),
+        accepts_executor=getattr(module, "ACCEPTS_EXECUTOR", False),
         accepts_workers=getattr(module, "ACCEPTS_WORKERS", False),
     )
 

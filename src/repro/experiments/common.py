@@ -10,19 +10,47 @@ printable table (what EXPERIMENTS.md records) with a metrics dict
 
 Learning-heavy runners additionally take ``backend=`` (``"fast"``
 integer kernel — the default — or ``"exact"`` Fractions; identical
-results) and ``workers=`` (0 = serial in-process, otherwise a
-:class:`~repro.kernel.batch.BatchRunner` fans trajectories out over
-that many worker processes). :func:`resolve_batch_runner` centralizes
-that translation.
+results) and ``executor=`` (handed to :func:`repro.run_many`, which
+picks the mechanism — tensor-vectorized populations, worker pools, or
+serial; identical results in every mode). The old ``workers=`` knob
+still works but is deprecated; :func:`resolve_execution` centralizes
+the translation.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.kernel.batch import BatchRunner
 from repro.util.tables import Table
+
+
+def resolve_execution(
+    *, executor: str = "auto", workers: int = 0
+) -> Tuple[str, Optional[int]]:
+    """The experiments' execution knobs → ``(executor, max_workers)``.
+
+    ``workers≥1`` is the deprecated spelling of "fan out over that many
+    worker processes": it emits a :class:`DeprecationWarning` and maps
+    to ``("process", workers)`` unless an explicit non-default
+    *executor* already says otherwise. Results are identical across all
+    modes, so the knobs only pick speed.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers == 0:
+        return executor, None
+    warnings.warn(
+        "workers= is deprecated; pass executor='process' (and max_workers=) — "
+        "execution now routes through repro.run_many",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if executor == "auto":
+        return "process", workers
+    return executor, workers
 
 
 def resolve_batch_runner(
@@ -31,23 +59,22 @@ def resolve_batch_runner(
     workers: int = 0,
     executor: str = "process",
 ) -> Optional[BatchRunner]:
-    """The experiments' ``workers=`` convention → an optional runner.
+    """Deprecated: the old ``workers=`` convention → an optional runner.
 
-    ``workers=0`` (the default) means plain serial execution — callers
-    get ``None`` and fall through to their in-process loop.
-    ``workers≥1`` builds a :class:`BatchRunner` capped at that many
-    workers; batch seeding matches the serial loop, so results are
-    identical either way. An explicit worker count means the caller
-    wants the pool, so the executor defaults to ``"process"`` — the
-    runner reuses one pool across all of the experiment's cells, which
-    amortizes start-up, but tiny default workloads may still finish
-    faster with ``workers=0``. Callers should ``close()`` the runner
-    (it is a context manager) when the sweep is done.
+    Kept as a shim for one release; use :func:`repro.run_many` (or
+    :func:`resolve_execution`) instead. ``workers=0`` returns ``None``
+    without warning — that was always the "no runner" spelling.
     """
     if workers < 0:
         raise ValueError(f"workers must be non-negative, got {workers}")
     if workers == 0:
         return None
+    warnings.warn(
+        "resolve_batch_runner is deprecated; route execution through "
+        "repro.run_many (see resolve_execution)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return BatchRunner(backend=backend, executor=executor, max_workers=workers)
 
 

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.analysis.convergence import measure_convergence
+from repro.analysis.convergence import stats_from_steps
 from repro.core.factories import random_game
-from repro.experiments.common import ExperimentResult, resolve_batch_runner
+from repro.experiments.common import ExperimentResult, resolve_execution
 from repro.learning.policies import (
     BestResponsePolicy,
     MinimalGainPolicy,
@@ -29,9 +29,10 @@ DESCRIPTION = "Theorem 1: better-response learning always converges"
 FAST_PARAMS = dict(miner_counts=(5, 10), coin_counts=(2,), runs_per_cell=3)
 
 #: Declared CLI knob capabilities (the registry forwards
-#: ``--backend``/``--workers`` only where declared).
+#: ``--backend``/``--executor``/``--workers`` only where declared).
 ACCEPTS_BACKEND = True
 ACCEPTS_WORKERS = True
+ACCEPTS_EXECUTOR = True
 
 
 def run(
@@ -42,54 +43,70 @@ def run(
     power_distribution: str = "uniform",
     seed: int = 0,
     backend: str = "fast",
+    executor: str = "auto",
     workers: int = 0,
 ) -> ExperimentResult:
     """The E2 sweep; every cell must converge in 100% of runs.
 
-    ``backend``/``workers`` follow the convention documented in
-    :mod:`repro.experiments.common` — same numbers, different speed.
+    The whole grid is ONE :func:`repro.run_many` call — one
+    :class:`~repro.run.RunSpec` per (size, policy) cell, each with the
+    same per-cell seed the serial loop would draw — so ``executor=``
+    picks the mechanism (tensor-vectorized populations by default on
+    ``"auto"``) without changing a single number. ``workers=`` is the
+    deprecated spelling of ``executor="process"``.
     """
-    runner = resolve_batch_runner(backend=backend, workers=workers)
+    from repro.run import RunSpec, run_many
+
+    executor, max_workers = resolve_execution(executor=executor, workers=workers)
     policies = (RandomImprovingPolicy(), BestResponsePolicy(), MinimalGainPolicy())
     table = Table(
         "E2 — convergence of better-response learning (Theorem 1)",
         ["n miners", "k coins", "policy", "mean steps", "p95 steps", "max steps", "converged"],
     )
+    cell_rngs = spawn_rngs(seed, len(miner_counts) * len(coin_counts))
+    cells = []
+    labels = []
+    cell = 0
+    for n in miner_counts:
+        for k in coin_counts:
+            rng = cell_rngs[cell]
+            cell += 1
+            game = random_game(n, k, power_distribution=power_distribution, seed=rng)
+            for policy in policies:
+                # The same per-measurement seed draw order the serial
+                # measure_convergence loop used, so results are stable
+                # across releases and executors.
+                cells.append(
+                    RunSpec(
+                        game=game,
+                        runs=runs_per_cell,
+                        policy=policy,
+                        backend=backend,
+                        seed=int(rng.integers(0, 2**31)),
+                        label=f"{n}x{k}:{policy.name}",
+                    )
+                )
+                labels.append((n, k, policy))
+    results = run_many(cells, executor=executor, max_workers=max_workers)
     total_runs = 0
     converged_runs = 0
     max_steps_seen = 0
-    cell_rngs = spawn_rngs(seed, len(miner_counts) * len(coin_counts))
-    cell = 0
-    try:
-        for n in miner_counts:
-            for k in coin_counts:
-                rng = cell_rngs[cell]
-                cell += 1
-                game = random_game(n, k, power_distribution=power_distribution, seed=rng)
-                for policy in policies:
-                    stats = measure_convergence(
-                        game,
-                        runs=runs_per_cell,
-                        policy=policy,
-                        seed=int(rng.integers(0, 2**31)),
-                        backend=backend,
-                        runner=runner,
-                    )
-                    table.add_row(
-                        n,
-                        k,
-                        policy.name,
-                        stats.mean_steps,
-                        stats.p95_steps,
-                        stats.max_steps,
-                        "100%",
-                    )
-                    total_runs += stats.runs
-                    converged_runs += stats.runs  # engine raises otherwise
-                    max_steps_seen = max(max_steps_seen, stats.max_steps)
-    finally:
-        if runner is not None:
-            runner.close()
+    for (n, k, policy), summaries in zip(labels, results):
+        stats = stats_from_steps(
+            [summary.steps for summary in summaries], monotone=len(summaries)
+        )
+        table.add_row(
+            n,
+            k,
+            policy.name,
+            stats.mean_steps,
+            stats.p95_steps,
+            stats.max_steps,
+            "100%",
+        )
+        total_runs += stats.runs
+        converged_runs += stats.runs  # engine raises otherwise
+        max_steps_seen = max(max_steps_seen, stats.max_steps)
     return ExperimentResult(
         experiment="E2",
         table=table,

@@ -9,9 +9,9 @@ work. Reported: steps (or rounds) to stability per process.
 
 from __future__ import annotations
 
-from repro.analysis.convergence import measure_convergence
+from repro.analysis.convergence import stats_from_steps
 from repro.core.factories import random_game
-from repro.experiments.common import ExperimentResult, resolve_batch_runner
+from repro.experiments.common import ExperimentResult, resolve_execution
 from repro.learning.policies import (
     BestResponsePolicy,
     EpsilonGreedyPolicy,
@@ -37,9 +37,10 @@ DESCRIPTION = "Discussion: convergence speed by learning process"
 FAST_PARAMS = dict(miners=10, coins=3, runs=4, mwu_rounds=80)
 
 #: Declared CLI knob capabilities (the registry forwards
-#: ``--backend``/``--workers`` only where declared).
+#: ``--backend``/``--executor``/``--workers`` only where declared).
 ACCEPTS_BACKEND = True
 ACCEPTS_WORKERS = True
+ACCEPTS_EXECUTOR = True
 
 
 def run(
@@ -51,14 +52,21 @@ def run(
     power_distribution: str = "pareto",
     seed: int = 0,
     backend: str = "fast",
+    executor: str = "auto",
     workers: int = 0,
 ) -> ExperimentResult:
     """Convergence speed by learning process on a fixed game family.
 
-    ``backend``/``workers`` follow the convention documented in
-    :mod:`repro.experiments.common` — same numbers, different speed.
+    The whole policy × scheduler grid is ONE :func:`repro.run_many`
+    call (all cells share the game shape, so the vectorized executor
+    advances them in the same lockstep buckets); per-cell seeds follow
+    the exact draw order of the old serial loop, so numbers are
+    unchanged. ``workers=`` is the deprecated spelling of
+    ``executor="process"``.
     """
-    runner = resolve_batch_runner(backend=backend, workers=workers)
+    from repro.run import RunSpec, run_many
+
+    executor, max_workers = resolve_execution(executor=executor, workers=workers)
     rngs = spawn_rngs(seed, 4)
     game = random_game(
         miners, coins, power_distribution=power_distribution, seed=rngs[0]
@@ -80,31 +88,32 @@ def run(
         "E9 — convergence speed by learning process",
         ["process", "mean steps", "median", "p95", "max"],
     )
+    cells = [
+        RunSpec(
+            game=game,
+            runs=runs,
+            policy=policy,
+            scheduler=scheduler,
+            backend=backend,
+            seed=int(rngs[1].integers(0, 2**31)),
+            label=f"{policy.name} × {scheduler.name}",
+        )
+        for policy in policies
+        for scheduler in schedulers
+    ]
     fastest = None
     slowest = None
-    try:
-        for policy in policies:
-            for scheduler in schedulers:
-                stats = measure_convergence(
-                    game,
-                    runs=runs,
-                    policy=policy,
-                    scheduler=scheduler,
-                    seed=int(rngs[1].integers(0, 2**31)),
-                    backend=backend,
-                    runner=runner,
-                )
-                label = f"{policy.name} × {scheduler.name}"
-                table.add_row(
-                    label, stats.mean_steps, stats.median_steps, stats.p95_steps, stats.max_steps
-                )
-                if fastest is None or stats.mean_steps < fastest[1]:
-                    fastest = (label, stats.mean_steps)
-                if slowest is None or stats.mean_steps > slowest[1]:
-                    slowest = (label, stats.mean_steps)
-    finally:
-        if runner is not None:
-            runner.close()
+    for spec, summaries in zip(cells, run_many(cells, executor=executor, max_workers=max_workers)):
+        stats = stats_from_steps(
+            [summary.steps for summary in summaries], monotone=len(summaries)
+        )
+        table.add_row(
+            spec.label, stats.mean_steps, stats.median_steps, stats.p95_steps, stats.max_steps
+        )
+        if fastest is None or stats.mean_steps < fastest[1]:
+            fastest = (spec.label, stats.mean_steps)
+        if slowest is None or stats.mean_steps > slowest[1]:
+            slowest = (spec.label, stats.mean_steps)
 
     # MWU comparator: rounds to a stable realized profile (if at all).
     learner = MultiplicativeWeightsLearner(step_size=0.3)

@@ -25,8 +25,9 @@ DESCRIPTION = "Extension: equilibrium basins + manipulation planner"
 FAST_PARAMS = dict(games=3, miners=6, coins=2, samples=20)
 
 #: Declared CLI knob capabilities (the registry forwards
-#: ``--backend``/``--workers`` only where declared).
+#: ``--backend``/``--executor``/``--workers`` only where declared).
 ACCEPTS_BACKEND = True
+ACCEPTS_EXECUTOR = True
 
 
 def run(
@@ -38,11 +39,13 @@ def run(
     horizon_rounds: int = 20_000,
     seed: int = 0,
     backend: str = "fast",
+    executor: str = "auto",
 ) -> ExperimentResult:
     """Basin entropy per policy + planner verdicts.
 
-    ``backend`` selects the learning loop's arithmetic (see
-    :mod:`repro.experiments.common`); verdicts are identical either way.
+    ``backend`` selects the learning loop's arithmetic and ``executor``
+    the batch mechanism (see :mod:`repro.experiments.common`); verdicts
+    are identical either way.
     """
     table = Table(
         "E13 — equilibrium basins and the manipulation planner",
@@ -68,6 +71,7 @@ def run(
             samples=samples,
             seed=int(rngs[index].integers(0, 2**31)),
             backend=backend,
+            executor=executor,
         )
         by_policy = basin_by_policy(
             game,
@@ -75,6 +79,7 @@ def run(
             samples=max(samples // 2, 10),
             seed=int(rngs[index].integers(0, 2**31)),
             backend=backend,
+            executor=executor,
         )
         entropies = [p.entropy() for p in by_policy.values()]
         verdict = "n/a"

@@ -12,11 +12,10 @@ grows.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.factories import random_game
-from repro.experiments.common import ExperimentResult
-from repro.stochastic.noisy_engine import NoisyBatchRunner
+from repro.experiments.common import ExperimentResult, resolve_execution
 from repro.stochastic.risk import misconvergence_profile
 from repro.util.rng import spawn_rngs
 from repro.util.tables import Table
@@ -30,8 +29,9 @@ FAST_PARAMS = dict(games=1, miners=5, coins=2, budgets=(1, 16, 128), replication
     max_activations=1500)
 
 #: Declared CLI knob capabilities (the registry forwards
-#: ``--backend``/``--workers`` only where declared).
+#: ``--backend``/``--executor``/``--workers`` only where declared).
 ACCEPTS_WORKERS = True
+ACCEPTS_EXECUTOR = True
 
 
 def run(
@@ -45,15 +45,17 @@ def run(
     inertia: float = 0.0,
     exploration: float = 0.0,
     seed: int = 0,
+    executor: str = "auto",
     workers: int = 0,
 ) -> ExperimentResult:
     """Misconvergence rate and learning effort per sample budget.
 
-    ``workers`` fans the replications of each (game, budget) cell out
-    over that many processes via
-    :class:`~repro.stochastic.noisy_engine.NoisyBatchRunner`; results
-    are identical to the serial run.
+    ``executor`` picks the batch mechanism for each (game, budget)
+    cell's replications via :func:`repro.run_many`; results are
+    identical in every mode. ``workers=`` is the deprecated spelling of
+    ``executor="process"``.
     """
+    executor, max_workers = resolve_execution(executor=executor, workers=workers)
     table = Table(
         "E15 — noisy better-response learning vs. the exact prediction",
         [
@@ -68,44 +70,38 @@ def run(
         ],
     )
     rngs = spawn_rngs(seed, games)
-    runner: Optional[NoisyBatchRunner] = None
-    if workers > 0:
-        runner = NoisyBatchRunner(executor="process", max_workers=workers)
     total_low = 0.0
     total_high = 0.0
     monotone_games = 0
-    try:
-        for index in range(games):
-            game = random_game(miners, coins, seed=rngs[index])
-            report = misconvergence_profile(
-                game,
-                budgets=list(budgets),
-                replications=replications,
-                max_activations=max_activations,
-                inertia=inertia,
-                exploration=exploration,
-                seed=int(rngs[index].integers(0, 2**31)),
-                runner=runner,
+    for index in range(games):
+        game = random_game(miners, coins, seed=rngs[index])
+        report = misconvergence_profile(
+            game,
+            budgets=list(budgets),
+            replications=replications,
+            max_activations=max_activations,
+            inertia=inertia,
+            exploration=exploration,
+            seed=int(rngs[index].integers(0, 2**31)),
+            executor=executor,
+            max_workers=max_workers,
+        )
+        exact_count = len(report.equilibria)
+        for outcome in report.outcomes:
+            table.add_row(
+                f"#{index}",
+                outcome.budget_label,
+                f"{outcome.misconvergence_rate:.0%}",
+                f"{outcome.settled_rate:.0%}",
+                outcome.mean_activations,
+                outcome.p95_activations,
+                outcome.mean_moves,
+                f"{outcome.distinct_equilibria_reached}/{exact_count}",
             )
-            exact_count = len(report.equilibria)
-            for outcome in report.outcomes:
-                table.add_row(
-                    f"#{index}",
-                    outcome.budget_label,
-                    f"{outcome.misconvergence_rate:.0%}",
-                    f"{outcome.settled_rate:.0%}",
-                    outcome.mean_activations,
-                    outcome.p95_activations,
-                    outcome.mean_moves,
-                    f"{outcome.distinct_equilibria_reached}/{exact_count}",
-                )
-            rates = report.rates()
-            total_low += rates[0]
-            total_high += rates[-1]
-            monotone_games += int(rates[-1] <= rates[0])
-    finally:
-        if runner is not None:
-            runner.close()
+        rates = report.rates()
+        total_low += rates[0]
+        total_high += rates[-1]
+        monotone_games += int(rates[-1] <= rates[0])
     return ExperimentResult(
         experiment="E15",
         table=table,

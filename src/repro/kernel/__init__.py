@@ -22,14 +22,40 @@ The kernel is the performance seam of the library:
   Proposition 1 refuter at ``backend="space"`` (their default).
 * :class:`~repro.kernel.batch.BatchRunner` fans independent
   trajectories (seeds × schedulers × policies) out over
-  :mod:`concurrent.futures` workers with per-run RNG streams spawned
-  from one root seed, so results are identical serial or parallel.
+  :mod:`concurrent.futures` workers — or hands them whole to the tensor
+  kernel (``executor="vectorized"``) — with per-run RNG streams spawned
+  from one root seed, so results are identical in every mode.
+* :mod:`repro.kernel.tensor` advances a whole *population* of same-shape
+  games per numpy step (:func:`~repro.kernel.tensor.run_trajectory_population`,
+  :func:`~repro.kernel.tensor.run_simultaneous_population`,
+  :func:`~repro.kernel.tensor.stable_mask`), replicating the scalar
+  :class:`KernelView` stepper bit-for-bit — same RNG stream consumption,
+  same tie-breaks, same finals — via a three-lane arithmetic strategy
+  (exact int64 / bracketed floats with exact fallback / whole-game
+  scalar fallback, see :func:`~repro.kernel.tensor.kernel_lane`).
+
+Most callers should not touch these classes directly: the library-wide
+front door is :func:`repro.run_many`, which routes
+:class:`~repro.run.RunSpec` cells to the right mechanism.
 """
 
-from repro.kernel.batch import BatchRunner, TrajectorySummary, run_trajectory_batch
+from repro.kernel.batch import (
+    BatchRunner,
+    TrajectorySummary,
+    build_vector_jobs,
+    run_trajectory_batch,
+)
 from repro.kernel.core import KernelGame
 from repro.kernel.engine import KernelView
 from repro.kernel.space import ConfigSpace, DagReport
+from repro.kernel.tensor import (
+    TrajectoryJob,
+    TrajectoryOutcome,
+    kernel_lane,
+    run_simultaneous_population,
+    run_trajectory_population,
+    stable_mask,
+)
 
 __all__ = [
     "BatchRunner",
@@ -37,6 +63,13 @@ __all__ = [
     "DagReport",
     "KernelGame",
     "KernelView",
+    "TrajectoryJob",
+    "TrajectoryOutcome",
     "TrajectorySummary",
+    "build_vector_jobs",
+    "kernel_lane",
+    "run_simultaneous_population",
     "run_trajectory_batch",
+    "run_trajectory_population",
+    "stable_mask",
 ]

@@ -53,6 +53,10 @@ class PooledRunner:
     #: ``auto`` uses a process pool from this many items upward.
     auto_process_threshold: int = _AUTO_PROCESS_THRESHOLD
 
+    #: Executor modes this runner accepts; subclasses with a batched
+    #: fast path extend this with ``"vectorized"``.
+    pool_modes: Tuple[str, ...] = ("auto", "serial", "thread", "process")
+
     executor: str
     max_workers: Optional[int]
 
@@ -61,9 +65,10 @@ class PooledRunner:
         self._pool_key = None
 
     def _validate_pool_args(self) -> None:
-        if self.executor not in ("auto", "serial", "thread", "process"):
+        if self.executor not in self.pool_modes:
+            expected = ", ".join(repr(mode) for mode in self.pool_modes[:-1])
             raise ValueError(
-                f"executor must be 'auto', 'serial', 'thread' or 'process', "
+                f"executor must be {expected} or {self.pool_modes[-1]!r}, "
                 f"got {self.executor!r}"
             )
         if self.max_workers is not None and self.max_workers < 1:
@@ -125,8 +130,8 @@ class PooledRunner:
             # propagate — from the serial rerun if caught here.
             self.close()
             warnings.warn(
-                f"{type(self).__name__}: {mode} executor unavailable ({error}); "
-                "running serially",
+                f"{type(self).__name__}: {mode} executor unavailable "
+                f"({type(error).__name__}: {error}); running serially",
                 RuntimeWarning,
                 stacklevel=3,
             )
@@ -158,12 +163,15 @@ def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
     """Worker: run a contiguous chunk of trajectories for one game.
 
     Module-level (and importing lazily) so process pools can pickle it
-    without pulling the engine into the kernel's import graph.
+    without pulling the engine into the kernel's import graph. Runs in
+    ``record="summary"`` streaming mode: a summary keeps counts and the
+    final state only, so no per-step history is allocated just to be
+    thrown away.
     """
-    from repro.core.factories import random_configuration
+    from repro.core.factories import random_configuration, random_restricted_configuration
     from repro.learning.engine import LearningEngine
 
-    game, policy, scheduler, backend, max_steps, first_index, seed_pairs = payload
+    game, policy, scheduler, backend, max_steps, allowed, first_index, seed_pairs = payload
     # Chunks may run concurrently on threads; stateful strategies (e.g.
     # RoundRobinScheduler's cursor) must not be shared across them.
     policy = copy.deepcopy(policy)
@@ -172,15 +180,22 @@ def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
     engine = LearningEngine(
         policy=policy,
         scheduler=scheduler,
-        record_configurations=False,
+        record="summary",
         backend=backend,
         **engine_kwargs,
     )
     summaries: List[TrajectorySummary] = []
     assert engine.policy is not None and engine.scheduler is not None
     for offset, (start_seed, run_seed) in enumerate(seed_pairs):
-        start = random_configuration(game, seed=np.random.default_rng(start_seed))
-        trajectory = engine.run(game, start, seed=np.random.default_rng(run_seed))
+        if allowed is None:
+            start = random_configuration(game, seed=np.random.default_rng(start_seed))
+        else:
+            start = random_restricted_configuration(
+                game, allowed, seed=np.random.default_rng(start_seed)
+            )
+        trajectory = engine.run(
+            game, start, seed=np.random.default_rng(run_seed), allowed=allowed
+        )
         final = trajectory.final
         summaries.append(
             TrajectorySummary(
@@ -195,6 +210,84 @@ def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
     return summaries
 
 
+def build_vector_jobs(
+    game: Game,
+    *,
+    policy=None,
+    scheduler=None,
+    seed_pairs: Sequence[Tuple[Any, Any]],
+    allowed=None,
+    max_steps: Optional[int] = None,
+    backend: str = "fast",
+    kernel=None,
+):
+    """Map one batch cell onto tensor-kernel jobs; returns ``(jobs, kernel)``.
+
+    Start configurations are drawn exactly as :func:`_run_chunk` draws
+    them (one generator per start stream, mask-aware when ``allowed`` is
+    set), and each job carries the generator of its run stream — so the
+    population result is bit-identical to the scalar executors. Raises
+    ``ValueError`` when the cell is not vectorizable (non-``"fast"``
+    backend, or a custom policy/scheduler subclass, which must keep its
+    override and therefore the scalar loop).
+    """
+    from repro.core.factories import random_restricted_configuration
+    from repro.core.restricted import normalize_mask
+    from repro.kernel.core import KernelGame
+    from repro.kernel.tensor import TrajectoryJob, policy_kind, scheduler_kind
+    from repro.learning.engine import DEFAULT_MAX_STEPS
+
+    kinds = policy_kind(policy)
+    scheduler_code = scheduler_kind(scheduler)
+    if backend != "fast":
+        reason = f"backend={backend!r}"
+    elif kinds is None:
+        reason = f"policy {type(policy).__name__!r}"
+    elif scheduler_code is None:
+        reason = f"scheduler {type(scheduler).__name__!r}"
+    else:
+        reason = None
+    if reason is not None:
+        raise ValueError(
+            f"executor='vectorized' supports backend='fast' with the standard "
+            f"policies and schedulers; {reason} needs 'serial', 'thread' or 'process'"
+        )
+    if kernel is None:
+        kernel = KernelGame(game)
+    mask = normalize_mask(game, allowed)
+    allowed_idx = None
+    if mask is not None:
+        coin_index = kernel.coin_index
+        allowed_idx = tuple(
+            tuple(coin_index[coin] for coin in mask[miner]) for miner in game.miners
+        )
+    budget = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+    n_miners, n_coins = kernel.n_miners, kernel.n_coins
+    jobs = []
+    for start_seed, run_seed in seed_pairs:
+        start_gen = np.random.default_rng(start_seed)
+        if mask is None:
+            # Same single draw as random_configuration, minus the
+            # Configuration round-trip (kernel coin order is game order).
+            assign = [int(j) for j in start_gen.integers(0, n_coins, n_miners)]
+        else:
+            start = random_restricted_configuration(game, mask, seed=start_gen)
+            assign = kernel.assignment_of(start)
+        jobs.append(
+            TrajectoryJob(
+                kernel=kernel,
+                assign=assign,
+                rng=np.random.default_rng(run_seed),
+                policy=kinds[0],
+                scheduler=scheduler_code,
+                epsilon=kinds[1],
+                allowed=allowed_idx,
+                max_steps=budget,
+            )
+        )
+    return jobs, kernel
+
+
 @dataclass
 class BatchRunner(PooledRunner):
     """Run many independent learning trajectories, optionally in parallel.
@@ -205,9 +298,11 @@ class BatchRunner(PooledRunner):
         Numeric backend handed to every worker's engine (``"fast"`` or
         ``"exact"``).
     executor:
-        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``
-        (processes for large batches on multi-core hosts, serial
-        otherwise). Results are identical across all modes.
+        ``"serial"``, ``"thread"``, ``"process"``, ``"vectorized"``
+        (the tensor population kernel of :mod:`repro.kernel.tensor`;
+        standard policies/schedulers on the ``"fast"`` backend only) or
+        ``"auto"`` (processes for large batches on multi-core hosts,
+        serial otherwise). Results are identical across all modes.
     max_workers:
         Worker count for the pooled modes (default: ``os.cpu_count()``).
     max_steps:
@@ -225,6 +320,8 @@ class BatchRunner(PooledRunner):
     max_workers: Optional[int] = None
     max_steps: Optional[int] = None
 
+    pool_modes = ("auto", "serial", "thread", "process", "vectorized")
+
     def __post_init__(self) -> None:
         self._init_pool()
         if self.backend not in ("fast", "exact"):
@@ -240,20 +337,25 @@ class BatchRunner(PooledRunner):
         runs: int,
         policy=None,
         scheduler=None,
-        seed: Optional[int] = None,
+        seed=None,
+        allowed=None,
     ) -> List[TrajectorySummary]:
         """*runs* trajectories from random starts, in run-index order.
 
         Seeding matches :func:`repro.analysis.convergence.measure_convergence`:
         stream ``2i`` draws run *i*'s start, stream ``2i+1`` drives its
-        engine, all spawned from ``SeedSequence(seed)``.
+        engine, all spawned from ``SeedSequence(seed)`` (``seed`` may
+        also be an existing ``SeedSequence``, as :func:`repro.run_many`
+        hands out per-cell). ``allowed`` restricts miners to coin
+        subsets (a restricted game's mask); starts are then drawn
+        mask-valid, identically across every executor mode.
         """
         if runs < 1:
             raise ValueError(f"runs must be ≥ 1, got {runs}")
-        root = np.random.SeedSequence(seed)
+        root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
         streams = root.spawn(2 * runs)
         seed_pairs = [(streams[2 * i], streams[2 * i + 1]) for i in range(runs)]
-        return self._execute(game, policy, scheduler, seed_pairs)
+        return self._execute(game, policy, scheduler, seed_pairs, allowed=allowed)
 
     def run_grid(
         self,
@@ -284,7 +386,12 @@ class BatchRunner(PooledRunner):
 
     # ------------------------------------------------------------------
 
-    def _execute(self, game, policy, scheduler, seed_pairs) -> List[TrajectorySummary]:
+    def _execute(
+        self, game, policy, scheduler, seed_pairs, allowed=None
+    ) -> List[TrajectorySummary]:
+        if self.executor == "vectorized":
+            return self._execute_vectorized(game, policy, scheduler, seed_pairs, allowed)
+
         def make_chunks(chunk_size: int):
             # One payload per worker: ship the game once per chunk.
             return [
@@ -294,6 +401,7 @@ class BatchRunner(PooledRunner):
                     scheduler,
                     self.backend,
                     self.max_steps,
+                    allowed,
                     start,
                     seed_pairs[start : start + chunk_size],
                 )
@@ -302,10 +410,44 @@ class BatchRunner(PooledRunner):
 
         return self._execute_chunked(
             _run_chunk,
-            (game, policy, scheduler, self.backend, self.max_steps, 0, seed_pairs),
+            (game, policy, scheduler, self.backend, self.max_steps, allowed, 0, seed_pairs),
             make_chunks,
             len(seed_pairs),
         )
+
+    def _execute_vectorized(
+        self, game, policy, scheduler, seed_pairs, allowed=None
+    ) -> List[TrajectorySummary]:
+        from repro.kernel.tensor import run_trajectory_population
+        from repro.learning.policies import RandomImprovingPolicy
+        from repro.learning.schedulers import UniformRandomScheduler
+
+        jobs, kernel = build_vector_jobs(
+            game,
+            policy=policy,
+            scheduler=scheduler,
+            seed_pairs=seed_pairs,
+            allowed=allowed,
+            max_steps=self.max_steps,
+            backend=self.backend,
+        )
+        outcomes = run_trajectory_population(jobs)
+        policy_name = (policy if policy is not None else RandomImprovingPolicy()).name
+        scheduler_name = (
+            scheduler if scheduler is not None else UniformRandomScheduler()
+        ).name
+        coin_names = kernel.coin_names
+        return [
+            TrajectorySummary(
+                run_index=index,
+                policy_name=policy_name,
+                scheduler_name=scheduler_name,
+                steps=outcome.steps,
+                converged=outcome.converged,
+                final_coins=tuple(coin_names[j] for j in outcome.final_assign),
+            )
+            for index, outcome in enumerate(outcomes)
+        ]
 
 
 def run_trajectory_batch(

@@ -1,0 +1,1006 @@
+"""Tensor-batched trajectory kernel: whole populations per numpy step.
+
+Every multi-seed experiment runs many independent trajectories over
+same-shape games. The scalar :class:`~repro.kernel.engine.KernelView`
+stepper advances them one Python step at a time; this module packs a
+*population* into ``(games × miners)`` / ``(games × coins)`` int64
+arrays — per-game common-denominator-scaled powers and rewards (the
+:class:`~repro.kernel.core.KernelGame` normalization, reused as-is),
+an assignment matrix and per-coin mass vectors — and advances every
+live trajectory in lockstep: one batched better-response scan, one
+batched scheduler pick, one batched policy choice and one batched
+apply per step. Converged (or budget-exhausted) games retire from the
+arrays; the loop ends when the population is empty.
+
+Exactness — three lanes, mirroring ``stochastic/lottery.py``'s
+int64-with-exact-fallback pattern:
+
+``"int"``
+    Every cross-multiplication fits int64 (bound:
+    ``max_reward · (total_power + max_power) < 2**62``). Comparisons
+    run directly on int64 arrays — exact by construction.
+``"float"``
+    Products would overflow int64 but the *state* (masses, rewards)
+    still fits. Comparisons run as bracketed float screens: the hot
+    lockstep tensors are float32 with a wide ``1e-5`` relative bracket
+    (accumulated float32 error is ≤ ~3e-7, so a certain verdict is
+    always right), entries inside that bracket re-run through a
+    float64 screen with a ``1e-14`` bracket (float64 error is
+    ~1e-16·ops), and anything still undecided — generically nothing —
+    is settled with arbitrary-precision Python integers. Final verdicts
+    are therefore exact regardless of which tier decided them.
+``"exact"``
+    State itself exceeds int64: the whole game falls back to the scalar
+    :class:`~repro.kernel.engine.KernelView` stepper in
+    ``record="summary"`` mode — same draws, same tie-breaks, same
+    budget semantics, merely not batched.
+
+All three lanes are draw-for-draw identical to the scalar stepper:
+each job carries its own ``numpy.random.Generator``, and every draw the
+scalar loop would make (scheduler pick, random-improving choice,
+epsilon-greedy explore test) is made on that same generator, in the
+same per-step order, with the same bounds. Tie-breaks replicate the
+scalar scan order exactly (ascending coin index for best response,
+coin-name order for minimal-gain/max-rpu, power-then-name order for the
+largest/smallest-first schedulers). ``tests/test_tensor_parity.py``
+holds the wall.
+
+Restricted games ride along: a job's ``allowed`` mask (per-miner
+ascending coin indices, the :class:`~repro.kernel.engine.KernelView`
+``_allowed_idx`` shape) becomes one boolean ``(games × miners × coins)``
+tensor AND-ed into the improvement scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+from repro.kernel.core import KernelGame
+
+__all__ = [
+    "TrajectoryJob",
+    "TrajectoryOutcome",
+    "SimultaneousJob",
+    "SimultaneousOutcome",
+    "kernel_lane",
+    "policy_kind",
+    "scheduler_kind",
+    "run_trajectory_population",
+    "run_simultaneous_population",
+    "stable_mask",
+]
+
+#: Largest integer the int64 fast paths may produce (see lottery.py).
+_INT64_SAFE = 2**62
+
+#: Relative tolerance of the float64 comparison lane. Anything closer
+#: than this is re-resolved with exact integer arithmetic.
+_REL_TOL = 1e-14
+_REL_TOL_F32 = 1e-5
+_LO_F32 = np.float32(1.0 - _REL_TOL_F32)
+
+#: Policy kind codes the batched stepper implements.
+VECTOR_POLICIES = ("best", "random", "minimal", "max-rpu", "first", "epsilon")
+
+#: Scheduler kind codes the batched stepper implements.
+VECTOR_SCHEDULERS = ("uniform", "round-robin", "largest", "smallest")
+
+
+def kernel_lane(kernel: KernelGame) -> str:
+    """Which comparison lane a kernel's integer magnitudes admit.
+
+    ``"int"`` — int64 products; ``"float"`` — float64 prefilter with
+    exact confirmation; ``"exact"`` — scalar arbitrary-precision
+    fallback (state itself does not fit int64).
+    """
+    total = sum(kernel.powers)
+    peak = max(kernel.powers)
+    top = max(kernel.rewards)
+    if top * (total + peak) < _INT64_SAFE:
+        return "int"
+    if total + peak < _INT64_SAFE and top < _INT64_SAFE:
+        return "float"
+    return "exact"
+
+
+def policy_kind(policy) -> Optional[Tuple[str, float]]:
+    """``(kind, epsilon)`` code for a *standard* policy instance, else None.
+
+    Exact type checks on purpose: a subclass may override ``choose`` and
+    must fall back to the scalar loop (same rule the strategy views use
+    for their own fast paths).
+    """
+    from repro.learning import policies as P
+
+    if policy is None:
+        return ("random", 0.0)
+    t = type(policy)
+    if t is P.BestResponsePolicy:
+        return ("best", 0.0)
+    if t is P.RandomImprovingPolicy:
+        return ("random", 0.0)
+    if t is P.MinimalGainPolicy:
+        return ("minimal", 0.0)
+    if t is P.MaxRpuPolicy:
+        return ("max-rpu", 0.0)
+    if t is P.FirstImprovingPolicy:
+        return ("first", 0.0)
+    if t is P.EpsilonGreedyPolicy:
+        return ("epsilon", float(policy.epsilon))
+    return None
+
+
+def scheduler_kind(scheduler) -> Optional[str]:
+    """Kind code for a *standard* scheduler instance, else None."""
+    from repro.learning import schedulers as S
+
+    if scheduler is None:
+        return "uniform"
+    t = type(scheduler)
+    if t is S.UniformRandomScheduler:
+        return "uniform"
+    if t is S.RoundRobinScheduler:
+        return "round-robin"
+    if t is S.LargestFirstScheduler:
+        return "largest"
+    if t is S.SmallestFirstScheduler:
+        return "smallest"
+    return None
+
+
+def _make_policy(kind: str, epsilon: float):
+    from repro.learning import policies as P
+
+    factory = {
+        "best": P.BestResponsePolicy,
+        "random": P.RandomImprovingPolicy,
+        "minimal": P.MinimalGainPolicy,
+        "max-rpu": P.MaxRpuPolicy,
+        "first": P.FirstImprovingPolicy,
+    }
+    if kind == "epsilon":
+        return P.EpsilonGreedyPolicy(epsilon)
+    return factory[kind]()
+
+
+def _make_scheduler(kind: str):
+    from repro.learning import schedulers as S
+
+    return {
+        "uniform": S.UniformRandomScheduler,
+        "round-robin": S.RoundRobinScheduler,
+        "largest": S.LargestFirstScheduler,
+        "smallest": S.SmallestFirstScheduler,
+    }[kind]()
+
+
+# ----------------------------------------------------------------------
+# Sequential better-response populations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TrajectoryJob:
+    """One trajectory of the population: a game plus its run state.
+
+    ``assign`` is the initial assignment (coin index per miner, miner
+    order); ``rng`` is this run's private generator — the batched
+    stepper draws from it exactly as the scalar stepper would.
+    ``policy``/``scheduler`` are kind codes (:data:`VECTOR_POLICIES` /
+    :data:`VECTOR_SCHEDULERS`); map strategy *objects* with
+    :func:`policy_kind` / :func:`scheduler_kind`. ``allowed`` is the
+    per-miner ascending coin-index mask of a restricted game, or None.
+    """
+
+    kernel: KernelGame
+    assign: Sequence[int]
+    rng: np.random.Generator
+    policy: str = "random"
+    scheduler: str = "uniform"
+    epsilon: float = 0.0
+    allowed: Optional[Tuple[Tuple[int, ...], ...]] = None
+    max_steps: int = 1_000_000
+    raise_on_budget: bool = True
+
+
+@dataclass(frozen=True)
+class TrajectoryOutcome:
+    """What the batched stepper reports per job: counts and final state."""
+
+    steps: int
+    converged: bool
+    final_assign: Tuple[int, ...]
+
+
+def run_trajectory_population(jobs: Sequence[TrajectoryJob]) -> List[TrajectoryOutcome]:
+    """Advance every job to convergence (or budget), batched per shape.
+
+    Jobs are grouped into buckets of identical ``(miners, coins,
+    policy, scheduler, epsilon, lane)``; each bucket runs as one
+    lockstep array program. Mixed-shape populations are therefore fine —
+    they simply occupy several buckets. Jobs whose kernel integers
+    exceed the ``"float"`` lane run through the scalar stepper
+    (arbitrary precision), transparently. Outcomes come back in job
+    order.
+    """
+    jobs = list(jobs)
+    outcomes: List[Optional[TrajectoryOutcome]] = [None] * len(jobs)
+    lanes: Dict[int, str] = {}
+    buckets: Dict[tuple, List[int]] = {}
+    for pos, job in enumerate(jobs):
+        if job.policy not in VECTOR_POLICIES:
+            raise ValueError(f"policy must be one of {VECTOR_POLICIES}, got {job.policy!r}")
+        if job.scheduler not in VECTOR_SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {VECTOR_SCHEDULERS}, got {job.scheduler!r}"
+            )
+        lane = lanes.get(id(job.kernel))
+        if lane is None:
+            lane = lanes[id(job.kernel)] = kernel_lane(job.kernel)
+        if lane == "exact":
+            outcomes[pos] = _run_scalar_job(job)
+            continue
+        key = (
+            job.kernel.n_miners,
+            job.kernel.n_coins,
+            job.policy,
+            job.scheduler,
+            job.epsilon,
+            lane,
+        )
+        buckets.setdefault(key, []).append(pos)
+    for key, positions in buckets.items():
+        results = _run_bucket([jobs[p] for p in positions], lane=key[-1])
+        for p, outcome in zip(positions, results):
+            outcomes[p] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
+def _run_scalar_job(job: TrajectoryJob) -> TrajectoryOutcome:
+    """Arbitrary-precision fallback: the scalar stepper, summary mode."""
+    from repro.core.configuration import Configuration
+    from repro.kernel.engine import KernelView
+    from repro.learning.engine import run_better_response
+
+    game = job.kernel.game
+    coins = game.coins
+    config = Configuration(game.miners, [coins[int(j)] for j in job.assign])
+    allowed = None
+    if job.allowed is not None:
+        allowed = {
+            miner: tuple(coins[j] for j in job.allowed[i])
+            for i, miner in enumerate(game.miners)
+        }
+    view = KernelView(game, config, allowed=allowed, kernel=job.kernel)
+    trajectory = run_better_response(
+        view,
+        _make_policy(job.policy, job.epsilon),
+        _make_scheduler(job.scheduler),
+        job.rng,
+        max_steps=job.max_steps,
+        raise_on_budget=job.raise_on_budget,
+        record="summary",
+    )
+    final = tuple(int(j) for j in view.assign)
+    return TrajectoryOutcome(trajectory.length, trajectory.converged, final)
+
+
+def _activation_priorities(jobs: Sequence, kind: str) -> np.ndarray:
+    """Per-game miner ranks replicating largest/smallest-first picks.
+
+    ``max(unstable, key=(power, name))`` returns the *first* maximal
+    element; a stable (reverse-)sort keeps equal keys in ascending miner
+    order, so rank-argmin over the unstable set reproduces the scalar
+    pick, ties included.
+    """
+    n = jobs[0].kernel.n_miners
+    cache: Dict[int, np.ndarray] = {}
+    out = np.empty((len(jobs), n), dtype=np.int64)
+    for g, job in enumerate(jobs):
+        row = cache.get(id(job.kernel))
+        if row is None:
+            miners = job.kernel.game.miners
+            order = sorted(
+                range(n),
+                key=lambda i: (miners[i].power, miners[i].name),
+                reverse=(kind == "largest"),
+            )
+            row = np.empty(n, dtype=np.int64)
+            for rank, i in enumerate(order):
+                row[i] = rank
+            cache[id(job.kernel)] = row
+        out[g] = row
+    return out
+
+
+def _coin_name_ranks(jobs: Sequence) -> np.ndarray:
+    """Per-game coin ranks in name order (minimal-gain/max-rpu ties)."""
+    k = jobs[0].kernel.n_coins
+    cache: Dict[int, np.ndarray] = {}
+    out = np.empty((len(jobs), k), dtype=np.int64)
+    for g, job in enumerate(jobs):
+        row = cache.get(id(job.kernel))
+        if row is None:
+            names = job.kernel.coin_names
+            order = sorted(range(k), key=lambda j: names[j])
+            row = np.empty(k, dtype=np.int64)
+            for rank, j in enumerate(order):
+                row[j] = rank
+            cache[id(job.kernel)] = row
+        out[g] = row
+    return out
+
+
+def _exact_improves(powers, rewards, assign, mass, allowed_m, gi, i, j):
+    """Exact integer verdict: does miner *i* of game *gi* gain at coin *j*?
+
+    The rare fallback for entries whose float margin lands inside the
+    tolerance gap — the same strict cross-multiplication as
+    :meth:`KernelGame.better_moves`, in arbitrary precision.
+    """
+    cur = int(assign[gi, i])
+    if j == cur:
+        return False
+    if allowed_m is not None and not allowed_m[gi, i, j]:
+        return False
+    mc = int(mass[gi, cur])
+    rc = int(rewards[gi, cur])
+    return int(rewards[gi, j]) * mc > rc * (int(mass[gi, j]) + int(powers[gi, i]))
+
+
+def _f64_margin_rows(powers, rewards, assign, mass, allowed_m, gis, iis):
+    """True improving rows for (game, miner) pairs via the float64 bracket.
+
+    Mid-tier resolver for pairs whose float32 margin landed inside the
+    wide f32 gap: recompute their margin rows with the tight float64
+    bracket in one vectorized pass, then settle any entry still inside
+    the f64 gap — generically none — with exact integer arithmetic.
+    The returned rows are truth, not an approximation.
+    """
+    cur = assign[gis, iis]
+    mc = mass[gis, cur].astype(np.float64)
+    rc = rewards[gis, cur].astype(np.float64)
+    q_lo = (mc / rc) * (1.0 - _REL_TOL)
+    A = q_lo[:, None] * rewards[gis].astype(np.float64)
+    A -= mass[gis]
+    p = powers[gis, iis].astype(np.float64)
+    slack = 2.0 * _REL_TOL * (mass[gis].sum(axis=1) + powers[gis].max(axis=1)).astype(np.float64)
+    imp = A > p[:, None]
+    gap = (A > (p - slack)[:, None]) ^ imp
+    if allowed_m is not None:
+        dis = ~allowed_m[gis, iis]
+        imp &= ~dis
+        gap &= ~dis
+    if np.count_nonzero(gap):
+        for ri, j in zip(*np.nonzero(gap)):
+            imp[ri, j] = _exact_improves(
+                powers, rewards, assign, mass, allowed_m, int(gis[ri]), int(iis[ri]), int(j)
+            )
+    return imp
+
+
+def _improving_tensor(powers, rewards, assign, mass, allowed_m, exact, float_aux):
+    """``imp[g, i, j]``: would miner *i* of game *g* gain by moving to *j*?
+
+    The batched twin of :meth:`KernelGame.better_moves`'s strict
+    cross-multiplication; ``j == current`` compares a payoff against
+    itself and is never improving, so it needs no explicit mask.
+
+    The float lane folds the current payoff into a per-miner ratio
+    ``q = mass_cur / r_cur``: with ``A = q·(1-ε)·R - mass``, an entry
+    is certainly improving when ``A > power`` and certainly not when
+    ``A ≤ power - slack``, where *slack* is a per-game absolute bound
+    ``2ε·(total_mass + max_power)`` covering both the ε fold and the
+    accumulated float error (≤ ~6 ulp while ε is ~45 ulp). The gap
+    between the two verdicts — generically empty — is re-resolved with
+    exact integer arithmetic.
+    """
+    mass_cur = np.take_along_axis(mass, assign, axis=1)
+    r_cur = np.take_along_axis(rewards, assign, axis=1)
+    if exact:
+        lhs = mass_cur[:, :, None] * rewards[:, None, :]
+        rhs = r_cur[:, :, None] * (mass[:, None, :] + powers[:, :, None])
+        imp = lhs > rhs
+    else:
+        powers_f, rewards_f = float_aux
+        q_lo = (mass_cur / r_cur) * (1.0 - _REL_TOL)
+        A = q_lo[:, :, None] * rewards_f[:, None, :]
+        A -= mass.astype(np.float64)[:, None, :]
+        slack = 2.0 * _REL_TOL * (mass.sum(axis=1) + powers.max(axis=1)).astype(np.float64)
+        imp = A > powers_f[:, :, None]
+        gap = (A > (powers_f - slack[:, None])[:, :, None]) ^ imp
+        if allowed_m is not None:
+            gap &= allowed_m
+        if np.count_nonzero(gap):
+            for gi, i, j in zip(*np.nonzero(gap)):
+                imp[gi, i, j] = _exact_improves(
+                    powers, rewards, assign, mass, allowed_m, gi, i, j
+                )
+    if allowed_m is not None:
+        imp &= allowed_m
+    return imp
+
+
+def _best_response_targets(rewards, mass, cur, p_sel, allow_sel, exact, rewards_f):
+    """Batched :meth:`KernelGame.best_response_idx` for one miner per game.
+
+    Ascending-j scan with strict improvement over best-so-far, seeded at
+    the current payoff — ties resolve to the earliest coin, exactly like
+    the scalar chain. Returns -1 where no improving move exists.
+    """
+    g, k = mass.shape
+    rows = np.arange(g)
+    best_r = rewards[rows, cur].copy()
+    best_den = mass[rows, cur].copy()
+    target = np.full(g, -1, dtype=np.int64)
+    for j in range(k):
+        elig = cur != j
+        if allow_sel is not None:
+            elig = elig & allow_sel[:, j]
+        if not elig.any():
+            continue
+        den_j = mass[:, j] + p_sel
+        if exact:
+            beat = rewards[:, j] * best_den > best_r * den_j
+        else:
+            lhs = rewards_f[:, j] * best_den.astype(np.float64)
+            rhs = best_r.astype(np.float64) * den_j.astype(np.float64)
+            diff = lhs - rhs
+            tol = (lhs + rhs) * _REL_TOL
+            beat = diff > tol
+            unsure = (diff >= -tol) & ~beat & elig
+            for gi in np.flatnonzero(unsure):
+                beat[gi] = int(rewards[gi, j]) * int(best_den[gi]) > int(best_r[gi]) * int(
+                    den_j[gi]
+                )
+        beat &= elig
+        if beat.any():
+            best_r = np.where(beat, rewards[:, j], best_r)
+            best_den = np.where(beat, den_j, best_den)
+            target = np.where(beat, j, target)
+    return target
+
+
+def _extreme_gain_targets(rewards, mass, mrow, p_sel, rank, exact, maximize, rewards_f):
+    """Batched minimal-gain (``maximize=False``) / max-rpu target choice.
+
+    Scans improving coins ascending; keeps the smallest (largest)
+    post-move payoff, breaking exact payoff ties toward the smaller
+    (larger) coin name — the scalar tie rule, via precomputed name
+    ranks.
+    """
+    g, k = mrow.shape
+    have = np.zeros(g, dtype=bool)
+    best_r = np.zeros(g, dtype=np.int64)
+    best_den = np.ones(g, dtype=np.int64)
+    best_rank = np.zeros(g, dtype=np.int64)
+    target = np.full(g, -1, dtype=np.int64)
+    for j in range(k):
+        mj = mrow[:, j]
+        if not mj.any():
+            continue
+        den_j = mass[:, j] + p_sel
+        if exact:
+            lhs = rewards[:, j] * best_den
+            rhs = best_r * den_j
+            gt = lhs > rhs
+            eq = lhs == rhs
+        else:
+            lhs = rewards_f[:, j] * best_den.astype(np.float64)
+            rhs = best_r.astype(np.float64) * den_j.astype(np.float64)
+            diff = lhs - rhs
+            tol = (lhs + rhs) * _REL_TOL
+            gt = diff > tol
+            eq = np.zeros(g, dtype=bool)
+            unsure = (diff >= -tol) & ~gt & mj & have
+            for gi in np.flatnonzero(unsure):
+                lhs_e = int(rewards[gi, j]) * int(best_den[gi])
+                rhs_e = int(best_r[gi]) * int(den_j[gi])
+                gt[gi] = lhs_e > rhs_e
+                eq[gi] = lhs_e == rhs_e
+        if maximize:
+            better = gt | (eq & (rank[:, j] > best_rank))
+        else:
+            better = (~gt & ~eq) | (eq & (rank[:, j] < best_rank))
+        take = mj & (~have | better)
+        best_r = np.where(take, rewards[:, j], best_r)
+        best_den = np.where(take, den_j, best_den)
+        best_rank = np.where(take, rank[:, j], best_rank)
+        target = np.where(take, j, target)
+        have = have | mj
+    return target
+
+
+def _run_bucket(jobs: Sequence[TrajectoryJob], lane: str) -> List[TrajectoryOutcome]:
+    """Run one same-shape, same-strategy bucket in lockstep."""
+    total = len(jobs)
+    n = jobs[0].kernel.n_miners
+    k = jobs[0].kernel.n_coins
+    pol = jobs[0].policy
+    sch = jobs[0].scheduler
+    eps = jobs[0].epsilon
+    exact = lane == "int"
+
+    powers = np.array([job.kernel.powers for job in jobs], dtype=np.int64)
+    rewards = np.array([job.kernel.rewards for job in jobs], dtype=np.int64)
+    assign = np.array([list(job.assign) for job in jobs], dtype=np.int64)
+    if assign.shape != (total, n):
+        raise ValueError(
+            f"assignment shape {assign.shape} does not match population ({total}, {n})"
+        )
+    mass = np.zeros((total, k), dtype=np.int64)
+    np.add.at(mass, (np.arange(total)[:, None], assign), powers)
+    budgets = np.array([job.max_steps for job in jobs], dtype=np.int64)
+    raise_flags = np.array([job.raise_on_budget for job in jobs], dtype=bool)
+    rngs = [job.rng for job in jobs]
+    steps = np.zeros(total, dtype=np.int64)
+    owner = np.arange(total)
+
+    allowed_m = None
+    if any(job.allowed is not None for job in jobs):
+        allowed_m = np.ones((total, n, k), dtype=bool)
+        for g, job in enumerate(jobs):
+            if job.allowed is None:
+                continue
+            allowed_m[g] = False
+            for i, coins in enumerate(job.allowed):
+                allowed_m[g, i, list(coins)] = True
+
+    cursor = np.zeros(total, dtype=np.int64) if sch == "round-robin" else None
+    prio = _activation_priorities(jobs, sch) if sch in ("largest", "smallest") else None
+    rank = _coin_name_ranks(jobs) if pol in ("minimal", "max-rpu") else None
+    rewards_f = p32 = p_gap32 = rewards_f32 = disallowed = None
+    scratch_a = scratch_f = ones_k = None
+    if not exact:
+        # The hot lockstep tensors run in float32 with a wide bracket
+        # (_REL_TOL_F32 ≈ 1e-5 versus ≤ ~3e-7 accumulated error): half
+        # the memory traffic of float64 at identical final verdicts,
+        # since anything inside the bracket is re-resolved exactly. The
+        # per-coin scan helpers below keep the tight float64 bracket.
+        rewards_f32 = rewards.astype(np.float32)
+        p32 = powers.astype(np.float32)
+        # Total mass is a trajectory invariant, so the per-game absolute
+        # slack covering the ε fold and float error is too.
+        slack = 2.0 * _REL_TOL_F32 * (mass.sum(axis=1) + powers.max(axis=1))
+        p_gap32 = (powers.astype(np.float64) - slack[:, None]).astype(np.float32)
+        disallowed = ~allowed_m if allowed_m is not None else None
+        scratch_a = np.empty((total, n, k), dtype=np.float32)
+        scratch_f = np.empty((total, n, k), dtype=np.float32)
+        ones_k = np.ones(k, dtype=np.float32)
+        if pol in ("best", "minimal", "max-rpu", "epsilon"):
+            rewards_f = rewards.astype(np.float64)
+
+    outcomes: List[Optional[TrajectoryOutcome]] = [None] * total
+    while owner.size:
+        if exact:
+            imp = _improving_tensor(powers, rewards, assign, mass, allowed_m, True, None)
+            unstable = imp.any(axis=2)
+        else:
+            # Margin tensor A[g, i, j] = q_lo·R[j] - mass[j]: miner i
+            # certainly improves at j when A > power_i, certainly does
+            # not when A ≤ power_i - slack. Only per-miner counts (via a
+            # BLAS matvec over a 0/1 indicator — faster than any numpy
+            # axis reduce here) and the activated miner's row are ever
+            # read, so no (g, n, k) boolean is materialized.
+            g0 = owner.size
+            A = scratch_a[:g0]
+            F = scratch_f[:g0]
+            mass32 = mass.astype(np.float32)
+            q_lo = np.take_along_axis((mass32 / rewards_f32) * _LO_F32, assign, axis=1)
+            np.multiply(q_lo[:, :, None], rewards_f32[:, None, :], out=A)
+            A -= mass32[:, None, :]
+            if disallowed is not None:
+                np.copyto(A, np.float32(-np.inf), where=disallowed)
+            flat = F.reshape(g0 * n, k)
+            np.greater(A, p32[:, :, None], out=F, casting="unsafe")
+            cnt_strict = flat @ ones_k
+            np.greater(A, p_gap32[:, :, None], out=F, casting="unsafe")
+            cnt_loose = flat @ ones_k
+            unstable = (cnt_strict > 0).reshape(g0, n)
+            gap = ((cnt_strict == 0) & (cnt_loose > 0)).reshape(g0, n)
+            if np.count_nonzero(gap):
+                gis, iis = np.nonzero(gap)
+                unstable[gis, iis] = _f64_margin_rows(
+                    powers, rewards, assign, mass, allowed_m, gis, iis
+                ).any(axis=1)
+        nu = np.count_nonzero(unstable, axis=1)
+
+        # Retire converged games, then budget-exhausted ones — the same
+        # order the scalar loop checks (stability first, so a run that
+        # is stable exactly at budget still counts as converged).
+        live = None
+        done = nu == 0
+        exhausted = ~done & (steps >= budgets)
+        if done.any() or exhausted.any():
+            for gi in np.flatnonzero(done):
+                outcomes[owner[gi]] = TrajectoryOutcome(
+                    int(steps[gi]), True, tuple(int(c) for c in assign[gi])
+                )
+            for gi in np.flatnonzero(exhausted):
+                if raise_flags[gi]:
+                    raise ConvergenceError(
+                        f"better-response learning did not converge within "
+                        f"{int(budgets[gi])} steps"
+                    )
+                outcomes[owner[gi]] = TrajectoryOutcome(
+                    int(steps[gi]), False, tuple(int(c) for c in assign[gi])
+                )
+            keep = ~(done | exhausted)
+            if not keep.any():
+                break
+            sel = np.flatnonzero(keep)
+            owner, assign, mass = owner[keep], assign[keep], mass[keep]
+            powers, rewards = powers[keep], rewards[keep]
+            steps, budgets, raise_flags = steps[keep], budgets[keep], raise_flags[keep]
+            unstable, nu = unstable[keep], nu[keep]
+            rngs = [rngs[i] for i in sel]
+            if allowed_m is not None:
+                allowed_m = allowed_m[keep]
+            if cursor is not None:
+                cursor = cursor[keep]
+            if prio is not None:
+                prio = prio[keep]
+            if rank is not None:
+                rank = rank[keep]
+            if exact:
+                imp = imp[keep]
+            else:
+                p32, p_gap32, rewards_f32 = p32[keep], p_gap32[keep], rewards_f32[keep]
+                if rewards_f is not None:
+                    rewards_f = rewards_f[keep]
+                if disallowed is not None:
+                    disallowed = disallowed[keep]
+                # A stays in pre-compaction row order; live maps each
+                # surviving game back to its scratch row for the policy
+                # phase's (g, k) row gather.
+                live = sel
+
+        g = owner.size
+        rows = np.arange(g)
+
+        # Scheduler phase: one activated miner per game. Per-game draws
+        # happen on each job's own generator, in the same order and with
+        # the same bounds as the scalar scheduler.
+        if sch == "uniform":
+            draws = np.empty(g, dtype=np.int64)
+            for gi in range(g):
+                draws[gi] = rngs[gi].integers(0, int(nu[gi]))
+            miner = (np.cumsum(unstable, axis=1) > draws[:, None]).argmax(axis=1)
+        elif sch == "round-robin":
+            positions = (cursor[:, None] + np.arange(n)[None, :]) % n
+            offset = np.take_along_axis(unstable, positions, axis=1).argmax(axis=1)
+            miner = (cursor + offset) % n
+            cursor = (miner + 1) % n
+        else:
+            miner = np.where(unstable, prio, n).argmin(axis=1)
+
+        # Policy phase: one target coin per activated miner.
+        cur = assign[rows, miner]
+        p_sel = powers[rows, miner]
+        allow_sel = allowed_m[rows, miner] if allowed_m is not None else None
+        if exact:
+            mrow = imp[rows, miner]
+        else:
+            arow = A[rows, miner] if live is None else A[live, miner]
+            p_self = p32[rows, miner]
+            mrow = arow > p_self[:, None]
+            row_gap = (arow > p_gap32[rows, miner][:, None]) & ~mrow
+            if np.count_nonzero(row_gap):
+                # Certain f32 verdicts and f64 truth agree, so whole-row
+                # replacement for any game with a gap entry is safe.
+                gis = np.flatnonzero(row_gap.any(axis=1))
+                mrow[gis] = _f64_margin_rows(
+                    powers, rewards, assign, mass, allowed_m, gis, miner[gis]
+                )
+        if pol == "first":
+            target = mrow.argmax(axis=1)
+        elif pol == "random":
+            counts = np.count_nonzero(mrow, axis=1)
+            draws = np.empty(g, dtype=np.int64)
+            for gi in range(g):
+                draws[gi] = rngs[gi].integers(0, int(counts[gi]))
+            target = (np.cumsum(mrow, axis=1) > draws[:, None]).argmax(axis=1)
+        elif pol == "best":
+            target = _best_response_targets(
+                rewards, mass, cur, p_sel, allow_sel, exact, rewards_f
+            )
+        elif pol in ("minimal", "max-rpu"):
+            target = _extreme_gain_targets(
+                rewards, mass, mrow, p_sel, rank, exact, pol == "max-rpu", rewards_f
+            )
+        else:  # epsilon-greedy: uniform draw decides explore/exploit
+            greedy = _best_response_targets(
+                rewards, mass, cur, p_sel, allow_sel, exact, rewards_f
+            )
+            counts = np.count_nonzero(mrow, axis=1)
+            cum = np.cumsum(mrow, axis=1)
+            target = np.empty(g, dtype=np.int64)
+            for gi in range(g):
+                gen = rngs[gi]
+                if gen.random() < eps:
+                    draw = int(gen.integers(0, int(counts[gi])))
+                    target[gi] = int((cum[gi] > draw).argmax())
+                else:
+                    target[gi] = greedy[gi]
+        if (target < 0).any():
+            raise RuntimeError("batched policy found no target for an unstable miner")
+
+        # Apply phase: O(population) mass bookkeeping, like the scalar
+        # view's O(1) apply.
+        mass[rows, cur] -= p_sel
+        mass[rows, target] += p_sel
+        assign[rows, miner] = target
+        steps += 1
+    return outcomes  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Batched stability checks
+# ----------------------------------------------------------------------
+
+
+def stable_mask(
+    kernel: KernelGame,
+    assigns,
+    allowed: Optional[Tuple[Tuple[int, ...], ...]] = None,
+) -> np.ndarray:
+    """One stability verdict per row of *assigns* (``(G, n)`` int array).
+
+    The batched twin of :meth:`KernelGame.stable_index`, lane-dispatched
+    like the trajectory stepper.
+    """
+    assigns = np.asarray(assigns, dtype=np.int64)
+    if assigns.ndim != 2 or assigns.shape[1] != kernel.n_miners:
+        raise ValueError(
+            f"assigns must be (G, {kernel.n_miners}), got {assigns.shape}"
+        )
+    lane = kernel_lane(kernel)
+    if lane == "exact":
+        allowed_seq = list(allowed) if allowed is not None else None
+        verdicts = []
+        for row in assigns:
+            assign = [int(c) for c in row]
+            verdicts.append(kernel.stable_index(assign, kernel.mass_of(assign), allowed_seq))
+        return np.array(verdicts, dtype=bool)
+    G = assigns.shape[0]
+    n, k = kernel.n_miners, kernel.n_coins
+    powers = np.broadcast_to(np.array(kernel.powers, dtype=np.int64), (G, n))
+    rewards = np.broadcast_to(np.array(kernel.rewards, dtype=np.int64), (G, k))
+    mass = np.zeros((G, k), dtype=np.int64)
+    np.add.at(mass, (np.arange(G)[:, None], assigns), powers)
+    allowed_m = None
+    if allowed is not None:
+        row_mask = np.zeros((n, k), dtype=bool)
+        for i, coins in enumerate(allowed):
+            row_mask[i, list(coins)] = True
+        allowed_m = np.broadcast_to(row_mask, (G, n, k))
+    exact = lane == "int"
+    float_aux = None
+    if not exact:
+        float_aux = (powers.astype(np.float64), rewards.astype(np.float64))
+    imp = _improving_tensor(powers, rewards, assigns, mass, allowed_m, exact, float_aux)
+    return ~imp.any(axis=(1, 2))
+
+
+# ----------------------------------------------------------------------
+# Simultaneous (synchronous) populations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SimultaneousJob:
+    """One synchronous-dynamics run of the population."""
+
+    kernel: KernelGame
+    assign: Sequence[int]
+    rng: np.random.Generator
+    inertia: float = 0.0
+    max_rounds: int = 10_000
+
+
+@dataclass(frozen=True)
+class SimultaneousOutcome:
+    """Batched twin of :class:`~repro.learning.simultaneous.SimultaneousResult`."""
+
+    rounds: int
+    converged: bool
+    cycle_start: Optional[int]
+    final_assign: Tuple[int, ...]
+
+
+def run_simultaneous_population(jobs: Sequence[SimultaneousJob]) -> List[SimultaneousOutcome]:
+    """Advance synchronous best-response dynamics for a population.
+
+    Round-for-round identical to
+    :func:`~repro.learning.simultaneous.run_simultaneous`: per round all
+    miners' best responses are evaluated against the pre-round state,
+    inertia draws happen per miner-with-a-target in miner order on each
+    job's own generator, a round with no movers means convergence, and
+    (for ``inertia=0``) a repeated configuration proves a permanent
+    cycle.
+    """
+    jobs = list(jobs)
+    outcomes: List[Optional[SimultaneousOutcome]] = [None] * len(jobs)
+    lanes: Dict[int, str] = {}
+    buckets: Dict[tuple, List[int]] = {}
+    for pos, job in enumerate(jobs):
+        if not 0.0 <= job.inertia < 1.0:
+            raise ValueError(f"inertia must be in [0, 1), got {job.inertia}")
+        if job.max_rounds < 1:
+            raise ValueError(f"max_rounds must be ≥ 1, got {job.max_rounds}")
+        lane = lanes.get(id(job.kernel))
+        if lane is None:
+            lane = lanes[id(job.kernel)] = kernel_lane(job.kernel)
+        if lane == "exact":
+            outcomes[pos] = _run_scalar_simultaneous(job)
+            continue
+        key = (job.kernel.n_miners, job.kernel.n_coins, lane)
+        buckets.setdefault(key, []).append(pos)
+    for key, positions in buckets.items():
+        results = _run_sim_bucket([jobs[p] for p in positions], lane=key[-1])
+        for p, outcome in zip(positions, results):
+            outcomes[p] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
+def _run_scalar_simultaneous(job: SimultaneousJob) -> SimultaneousOutcome:
+    from repro.core.configuration import Configuration
+    from repro.learning.simultaneous import run_simultaneous
+
+    game = job.kernel.game
+    config = Configuration(game.miners, [game.coins[int(j)] for j in job.assign])
+    result = run_simultaneous(
+        game,
+        config,
+        inertia=job.inertia,
+        max_rounds=job.max_rounds,
+        seed=job.rng,
+        backend="fast",
+    )
+    final = tuple(int(j) for j in job.kernel.assignment_of(result.final))
+    return SimultaneousOutcome(result.rounds, result.converged, result.cycle_start, final)
+
+
+def _best_response_all(powers, rewards, assign, mass, exact, powers_f, rewards_f):
+    """Best-response target (or -1) for *every* miner of every game."""
+    g, n = assign.shape
+    k = mass.shape[1]
+    best_r = np.take_along_axis(rewards, assign, axis=1).copy()
+    best_den = np.take_along_axis(mass, assign, axis=1).copy()
+    target = np.full((g, n), -1, dtype=np.int64)
+    for j in range(k):
+        elig = assign != j
+        den_j = mass[:, j][:, None] + powers
+        if exact:
+            beat = rewards[:, j][:, None] * best_den > best_r * den_j
+        else:
+            lhs = rewards_f[:, j][:, None] * best_den.astype(np.float64)
+            rhs = best_r.astype(np.float64) * den_j.astype(np.float64)
+            diff = lhs - rhs
+            tol = (lhs + rhs) * _REL_TOL
+            beat = diff > tol
+            unsure = (diff >= -tol) & ~beat & elig
+            for gi, i in zip(*np.nonzero(unsure)):
+                beat[gi, i] = int(rewards[gi, j]) * int(best_den[gi, i]) > int(
+                    best_r[gi, i]
+                ) * int(den_j[gi, i])
+        beat &= elig
+        best_r = np.where(beat, rewards[:, j][:, None], best_r)
+        best_den = np.where(beat, den_j, best_den)
+        target = np.where(beat, j, target)
+    return target
+
+
+def _run_sim_bucket(jobs: Sequence[SimultaneousJob], lane: str) -> List[SimultaneousOutcome]:
+    total = len(jobs)
+    n = jobs[0].kernel.n_miners
+    k = jobs[0].kernel.n_coins
+    exact = lane == "int"
+
+    powers = np.array([job.kernel.powers for job in jobs], dtype=np.int64)
+    rewards = np.array([job.kernel.rewards for job in jobs], dtype=np.int64)
+    assign = np.array([list(job.assign) for job in jobs], dtype=np.int64)
+    mass = np.zeros((total, k), dtype=np.int64)
+    np.add.at(mass, (np.arange(total)[:, None], assign), powers)
+    limits = np.array([job.max_rounds for job in jobs], dtype=np.int64)
+    inertias = [job.inertia for job in jobs]
+    rngs = [job.rng for job in jobs]
+    rounds = np.zeros(total, dtype=np.int64)
+    owner = np.arange(total)
+    seen: List[Optional[Dict[bytes, int]]] = [
+        ({assign[g].tobytes(): 0} if job.inertia == 0.0 else None)
+        for g, job in enumerate(jobs)
+    ]
+    powers_f = powers.astype(np.float64) if not exact else None
+    rewards_f = rewards.astype(np.float64) if not exact else None
+
+    outcomes: List[Optional[SimultaneousOutcome]] = [None] * total
+
+    def compact(keep):
+        nonlocal owner, assign, mass, powers, rewards, limits, inertias, rngs
+        nonlocal rounds, seen, powers_f, rewards_f
+        sel = np.flatnonzero(keep)
+        owner, assign, mass = owner[keep], assign[keep], mass[keep]
+        powers, rewards = powers[keep], rewards[keep]
+        limits, rounds = limits[keep], rounds[keep]
+        inertias = [inertias[i] for i in sel]
+        rngs = [rngs[i] for i in sel]
+        seen = [seen[i] for i in sel]
+        if not exact:
+            powers_f, rewards_f = powers_f[keep], rewards_f[keep]
+
+    while owner.size:
+        targets = _best_response_all(powers, rewards, assign, mass, exact, powers_f, rewards_f)
+        has_move = targets >= 0
+
+        # Round budget: the scalar loop simply stops after max_rounds
+        # and reports stability of the final state.
+        exhausted = rounds >= limits
+        if exhausted.any():
+            for gi in np.flatnonzero(exhausted):
+                outcomes[owner[gi]] = SimultaneousOutcome(
+                    int(rounds[gi]),
+                    not has_move[gi].any(),
+                    None,
+                    tuple(int(c) for c in assign[gi]),
+                )
+            keep = ~exhausted
+            if not keep.any():
+                break
+            compact(keep)
+            targets, has_move = targets[keep], has_move[keep]
+
+        g = owner.size
+        movers = has_move.copy()
+        for gi in range(g):
+            p = inertias[gi]
+            if p > 0.0:
+                gen = rngs[gi]
+                for i in np.flatnonzero(has_move[gi]):
+                    if gen.random() < p:
+                        movers[gi, i] = False
+
+        idle = ~movers.any(axis=1)
+        if idle.any():
+            for gi in np.flatnonzero(idle):
+                outcomes[owner[gi]] = SimultaneousOutcome(
+                    int(rounds[gi]), True, None, tuple(int(c) for c in assign[gi])
+                )
+            keep = ~idle
+            if not keep.any():
+                break
+            compact(keep)
+            targets, movers = targets[keep], movers[keep]
+            g = owner.size
+
+        # All targets were evaluated against the pre-round state; the
+        # batched assignment update realizes the simultaneous jump.
+        assign = np.where(movers, targets, assign)
+        mass = np.zeros((g, k), dtype=np.int64)
+        np.add.at(mass, (np.arange(g)[:, None], assign), powers)
+        rounds += 1
+
+        cycled = np.zeros(g, dtype=bool)
+        for gi in range(g):
+            history = seen[gi]
+            if history is None:
+                continue
+            key = assign[gi].tobytes()
+            previous = history.get(key)
+            if previous is not None:
+                cycled[gi] = True
+                outcomes[owner[gi]] = SimultaneousOutcome(
+                    int(rounds[gi]), False, previous, tuple(int(c) for c in assign[gi])
+                )
+            else:
+                history[key] = int(rounds[gi])
+        if cycled.any():
+            keep = ~cycled
+            if not keep.any():
+                break
+            compact(keep)
+    return outcomes  # type: ignore[return-value]

@@ -48,6 +48,13 @@ from repro.util.rng import RngLike, make_rng
 #: the game sizes the experiments use.
 DEFAULT_MAX_STEPS = 1_000_000
 
+#: Recording modes for :func:`run_better_response`. ``"configs"`` keeps
+#: every step and every intermediate configuration; ``"steps"`` keeps the
+#: steps but only [initial, final] configurations; ``"summary"`` streams —
+#: counts plus final state only, no per-:class:`Step` Fraction pairs, so
+#: batch executors stop paying allocation for history nobody reads.
+RECORD_MODES = ("configs", "steps", "summary")
+
 
 def run_better_response(
     view: GameView,
@@ -59,6 +66,7 @@ def run_better_response(
     record_configurations: bool = True,
     raise_on_budget: bool = True,
     what: str = "better-response learning",
+    record: Optional[str] = None,
 ) -> Trajectory:
     """The shared trajectory stepper: one improving path over *view*.
 
@@ -69,12 +77,26 @@ def run_better_response(
     (:class:`LearningEngine`,
     :class:`~repro.learning.restricted_engine.RestrictedLearningEngine`)
     are thin wrappers over this function.
+
+    ``record`` selects one of :data:`RECORD_MODES` and supersedes the
+    older ``record_configurations`` flag (kept as an alias: ``True`` ⇒
+    ``"configs"``, ``False`` ⇒ ``"steps"``). ``"summary"`` skips the
+    per-step payoff verification (which exists to catch buggy *custom*
+    policies) along with the :class:`Step` records; it consumes exactly
+    the same RNG draws as the full modes.
     """
+    if record is None:
+        record = "configs" if record_configurations else "steps"
+    elif record not in RECORD_MODES:
+        raise ValueError(f"record must be one of {RECORD_MODES}, got {record!r}")
     choose = policy.view_chooser()
     pick = scheduler.view_picker()
     scheduler.reset()
 
+    summary_only = record == "summary"
     trajectory = Trajectory(configurations=[view.configuration()])
+    if summary_only:
+        trajectory.step_count = 0
     for index in range(max_steps):
         unstable = view.unstable_miners()
         if not unstable:
@@ -87,6 +109,10 @@ def run_better_response(
                 f"scheduler activated miner {miner.name!r} but the policy "
                 "found no improving move; scheduler/policy disagree on stability"
             )
+        if summary_only:
+            view.apply(miner, target)
+            trajectory.step_count += 1
+            continue
         before = view.payoff(miner)
         after = view.payoff_after_move(miner, target)
         if after <= before:
@@ -106,7 +132,7 @@ def run_better_response(
                 payoff_after=after,
             )
         )
-        if record_configurations:
+        if record == "configs":
             trajectory.configurations.append(view.configuration())
     else:
         # Budget exhausted: the final state may still happen to be stable.
@@ -116,7 +142,7 @@ def run_better_response(
             raise ConvergenceError(
                 f"{what} did not converge within {max_steps} steps"
             )
-    if not record_configurations and trajectory.steps:
+    if record != "configs" and trajectory.length:
         trajectory.configurations.append(view.configuration())
     return trajectory
 
@@ -138,6 +164,11 @@ class LearningEngine:
     record_configurations:
         Keep every intermediate configuration (needed by potential
         audits; costs memory on long runs).
+    record:
+        One of :data:`RECORD_MODES`; supersedes ``record_configurations``
+        when set. ``"summary"`` streams: step counts and final state
+        only, no per-step :class:`~repro.learning.trajectory.Step`
+        records.
     backend:
         ``"fast"`` (integer kernel view, default) or ``"exact"``
         (Fraction view). The two produce identical trajectories for
@@ -151,6 +182,7 @@ class LearningEngine:
     record_configurations: bool = True
     raise_on_budget: bool = True
     backend: str = "fast"
+    record: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.policy is None:
@@ -161,6 +193,8 @@ class LearningEngine:
             raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
         if self.backend not in ("fast", "exact"):
             raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
+        if self.record is not None and self.record not in RECORD_MODES:
+            raise ValueError(f"record must be one of {RECORD_MODES}, got {self.record!r}")
 
     def run(
         self,
@@ -168,19 +202,22 @@ class LearningEngine:
         initial: Configuration,
         *,
         seed: RngLike = None,
+        allowed=None,
     ) -> Trajectory:
         """Run better-response learning from *initial* to convergence.
 
         Returns the full :class:`Trajectory`. Raises
         :class:`ConvergenceError` if the budget is exhausted and
-        ``raise_on_budget`` is set.
+        ``raise_on_budget`` is set. ``allowed`` optionally restricts each
+        miner to a subset of coins (same contract as
+        :func:`~repro.core.restricted.normalize_mask`).
         """
         game.validate_configuration(initial)
         rng = make_rng(seed)
         policy = self.policy
         scheduler = self.scheduler
         assert policy is not None and scheduler is not None  # set in __post_init__
-        view = make_view(game, initial, backend=self.backend)
+        view = make_view(game, initial, backend=self.backend, allowed=allowed)
         return run_better_response(
             view,
             policy,
@@ -189,6 +226,7 @@ class LearningEngine:
             max_steps=self.max_steps,
             record_configurations=self.record_configurations,
             raise_on_budget=self.raise_on_budget,
+            record=self.record,
         )
 
 

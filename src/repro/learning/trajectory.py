@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.coin import Coin
 from repro.core.configuration import Configuration
@@ -40,6 +40,10 @@ class Trajectory:
     configurations: List[Configuration] = field(default_factory=list)
     steps: List[Step] = field(default_factory=list)
     converged: bool = False
+    #: Step count for runs recorded in ``record="summary"`` mode, where no
+    #: :class:`Step` objects are kept. ``None`` whenever ``steps`` is
+    #: authoritative.
+    step_count: Optional[int] = None
 
     @property
     def initial(self) -> Configuration:
@@ -52,6 +56,8 @@ class Trajectory:
     @property
     def length(self) -> int:
         """Number of better-response steps taken."""
+        if self.step_count is not None:
+            return self.step_count
         return len(self.steps)
 
     def moves_per_miner(self) -> Dict[Miner, int]:

@@ -1,0 +1,254 @@
+"""One front door for batched execution: ``RunSpec`` → :func:`run_many`.
+
+Every multi-seed workload in the library — E2 convergence sweeps, E9
+learning-speed grids, E13 basin sampling, E15 noisy-budget sweeps — is
+a list of independent *cells*: "run this game ``runs`` times with this
+strategy (or this noisy engine) from seeded random starts". Before this
+module each call site wired its own mechanism (a
+:class:`~repro.kernel.batch.BatchRunner` here, a
+:class:`~repro.stochastic.noisy_engine.NoisyBatchRunner` there, a
+``workers=`` integer elsewhere). :func:`run_many` subsumes that
+patchwork: callers describe the *semantics* as :class:`RunSpec` cells
+and pick an executor — or leave ``"auto"`` and let the library pick the
+fastest mechanism that preserves bit-identical results.
+
+Executor modes
+--------------
+``"serial"``
+    One in-process loop; the reference semantics.
+``"thread"`` / ``"process"``
+    :mod:`concurrent.futures` pools via the pooled runners. Identical
+    results (all per-run RNG streams are pre-spawned).
+``"vectorized"``
+    The tensor population kernel (:mod:`repro.kernel.tensor`). All
+    vectorizable trajectory cells across the *whole* cell list are
+    packed into one population call, so same-shape cells share lockstep
+    array steps even across cells. Requires the ``"fast"`` backend and
+    standard policies/schedulers; noisy cells run the lockstep
+    population stepper. Identical results.
+``"auto"``
+    Vectorizable trajectory cells go to the tensor kernel; everything
+    else falls back to the pooled runners' own ``"auto"``.
+
+Seeding: each cell may carry an explicit ``seed``; cells that don't are
+assigned children of ``run_many``'s root ``SeedSequence(seed)`` in cell
+order, so appending cells never changes earlier cells' randomness.
+Within a cell the per-run scheme is the library-wide convention (stream
+``2i`` draws run *i*'s start, stream ``2i+1`` drives its engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.game import Game
+
+__all__ = ["RunSpec", "run_many", "EXECUTORS"]
+
+#: Executor modes :func:`run_many` accepts.
+EXECUTORS = ("auto", "serial", "thread", "process", "vectorized")
+
+SeedLike = Union[None, int, np.random.SeedSequence]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One batch cell: a game, a repetition count, and the semantics.
+
+    ``kind="trajectory"`` cells run better-response learning from
+    random starts and yield :class:`~repro.kernel.batch.TrajectorySummary`
+    records; ``kind="noisy"`` cells run the sample-based noisy learner
+    (optionally a configured
+    :class:`~repro.stochastic.noisy_engine.NoisyLearningEngine` via
+    ``engine``) and yield
+    :class:`~repro.stochastic.noisy_engine.NoisyRunResult` records.
+
+    ``seed`` pins this cell's root seed explicitly; ``None`` (default)
+    derives it from :func:`run_many`'s root, in cell order. ``allowed``
+    restricts miners to coin subsets (a restricted game's mask);
+    ``label`` is carried through untouched for callers that need to
+    re-identify cells in the flat result list.
+    """
+
+    game: Game
+    runs: int
+    kind: str = "trajectory"
+    policy: Any = None
+    scheduler: Any = None
+    allowed: Any = None
+    max_steps: Optional[int] = None
+    backend: str = "fast"
+    engine: Any = None
+    seed: SeedLike = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError(f"runs must be ≥ 1, got {self.runs}")
+        if self.kind not in ("trajectory", "noisy"):
+            raise ValueError(
+                f"kind must be 'trajectory' or 'noisy', got {self.kind!r}"
+            )
+        if self.backend not in ("fast", "exact"):
+            raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
+        if self.kind == "noisy" and (self.policy is not None or self.scheduler is not None):
+            raise ValueError("noisy cells take an engine, not a policy/scheduler")
+        if self.kind == "trajectory" and self.engine is not None:
+            raise ValueError("trajectory cells take a policy/scheduler, not an engine")
+
+    def _root(self, fallback: np.random.SeedSequence) -> np.random.SeedSequence:
+        if self.seed is None:
+            return fallback
+        if isinstance(self.seed, np.random.SeedSequence):
+            return self.seed
+        return np.random.SeedSequence(self.seed)
+
+
+def _is_vectorizable(cell: RunSpec) -> bool:
+    from repro.kernel.tensor import policy_kind, scheduler_kind
+
+    if cell.kind != "trajectory" or cell.backend != "fast":
+        return False
+    return policy_kind(cell.policy) is not None and scheduler_kind(cell.scheduler) is not None
+
+
+def run_many(
+    cells: Sequence[RunSpec],
+    *,
+    executor: str = "auto",
+    seed: SeedLike = None,
+    max_workers: Optional[int] = None,
+) -> List[List[Any]]:
+    """Execute every cell and return its result list, in cell order.
+
+    The single batch entry point: callers pick a *semantics* (the
+    cells) and an *executor*; the library guarantees the results are
+    identical across every executor mode, so the choice is purely about
+    speed. See the module docstring for the mode table.
+    """
+    cells = list(cells)
+    if executor not in EXECUTORS:
+        modes = ", ".join(repr(mode) for mode in EXECUTORS[:-1])
+        raise ValueError(f"executor must be {modes} or {EXECUTORS[-1]!r}, got {executor!r}")
+    if not cells:
+        return []
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    fallbacks = root.spawn(len(cells))
+    roots = [cell._root(fallback) for cell, fallback in zip(cells, fallbacks)]
+
+    results: List[Optional[List[Any]]] = [None] * len(cells)
+    vector_positions: List[int] = []
+    for pos, cell in enumerate(cells):
+        if cell.kind == "noisy":
+            results[pos] = _run_noisy_cell(cell, roots[pos], executor, max_workers)
+        elif executor == "vectorized" or (executor == "auto" and _is_vectorizable(cell)):
+            # Collect; all vectorizable cells share ONE population call.
+            vector_positions.append(pos)
+        else:
+            results[pos] = _run_trajectory_cell(cell, roots[pos], executor, max_workers)
+    if vector_positions:
+        for pos, cell_results in zip(
+            vector_positions,
+            _run_cells_vectorized(
+                [cells[p] for p in vector_positions],
+                [roots[p] for p in vector_positions],
+            ),
+        ):
+            results[pos] = cell_results
+    return results  # type: ignore[return-value]
+
+
+def _run_trajectory_cell(
+    cell: RunSpec, root: np.random.SeedSequence, executor: str, max_workers: Optional[int]
+) -> List[Any]:
+    from repro.kernel.batch import BatchRunner
+
+    with BatchRunner(
+        backend=cell.backend,
+        executor=executor,
+        max_workers=max_workers,
+        max_steps=cell.max_steps,
+    ) as runner:
+        return runner.run(
+            cell.game,
+            runs=cell.runs,
+            policy=cell.policy,
+            scheduler=cell.scheduler,
+            seed=root,
+            allowed=cell.allowed,
+        )
+
+
+def _run_noisy_cell(
+    cell: RunSpec, root: np.random.SeedSequence, executor: str, max_workers: Optional[int]
+) -> List[Any]:
+    from repro.stochastic.noisy_engine import NoisyBatchRunner
+
+    with NoisyBatchRunner(executor=executor, max_workers=max_workers) as runner:
+        return runner.run(
+            cell.game, replications=cell.runs, engine=cell.engine, seed=root
+        )
+
+
+def _run_cells_vectorized(
+    cells: Sequence[RunSpec], roots: Sequence[np.random.SeedSequence]
+) -> List[List[Any]]:
+    """All vectorizable trajectory cells through one population call.
+
+    Jobs from every cell are concatenated and handed to
+    :func:`~repro.kernel.tensor.run_trajectory_population` together, so
+    cells with the same game shape and strategy land in the same
+    lockstep bucket — cross-cell batching no per-cell runner offers.
+    Each job still carries its own pre-spawned generator, so the
+    summaries are bit-identical to the per-cell serial loops.
+    """
+    from repro.kernel.batch import TrajectorySummary, build_vector_jobs
+    from repro.kernel.tensor import run_trajectory_population
+    from repro.learning.policies import RandomImprovingPolicy
+    from repro.learning.schedulers import UniformRandomScheduler
+
+    all_jobs: List[Any] = []
+    spans: List[Tuple[int, int]] = []
+    kernels: List[Any] = []
+    for cell, root in zip(cells, roots):
+        streams = root.spawn(2 * cell.runs)
+        seed_pairs = [(streams[2 * i], streams[2 * i + 1]) for i in range(cell.runs)]
+        jobs, kernel = build_vector_jobs(
+            cell.game,
+            policy=cell.policy,
+            scheduler=cell.scheduler,
+            seed_pairs=seed_pairs,
+            allowed=cell.allowed,
+            max_steps=cell.max_steps,
+            backend=cell.backend,
+        )
+        spans.append((len(all_jobs), len(all_jobs) + len(jobs)))
+        kernels.append(kernel)
+        all_jobs.extend(jobs)
+    outcomes = run_trajectory_population(all_jobs)
+    results: List[List[Any]] = []
+    for cell, (start, stop), kernel in zip(cells, spans, kernels):
+        policy_name = (
+            cell.policy if cell.policy is not None else RandomImprovingPolicy()
+        ).name
+        scheduler_name = (
+            cell.scheduler if cell.scheduler is not None else UniformRandomScheduler()
+        ).name
+        coin_names = kernel.coin_names
+        results.append(
+            [
+                TrajectorySummary(
+                    run_index=index,
+                    policy_name=policy_name,
+                    scheduler_name=scheduler_name,
+                    steps=outcome.steps,
+                    converged=outcome.converged,
+                    final_coins=tuple(coin_names[j] for j in outcome.final_assign),
+                )
+                for index, outcome in enumerate(outcomes[start:stop])
+            ]
+        )
+    return results

@@ -13,7 +13,9 @@ asks which of the paper's predictions survive sampling noise:
 ``repro.stochastic.noisy_engine``
     Sample-based better-response learning (estimated improvements,
     optional inertia/exploration) with a batch runner whose serial,
-    threaded and multi-process results are identical.
+    threaded, multi-process and vectorized-lockstep
+    (:func:`~repro.stochastic.noisy_engine.run_noisy_population`)
+    results are identical.
 ``repro.stochastic.risk``
     Closed-form and sampled reward variance, ruin-style tail bounds,
     time-to-equilibrium distributions, and misconvergence rates
@@ -54,6 +56,7 @@ from repro.stochastic.noisy_engine import (
     NoisyLearningEngine,
     NoisyRunResult,
     run_noisy_batch,
+    run_noisy_population,
 )
 from repro.stochastic.risk import (
     BudgetOutcome,
@@ -89,6 +92,7 @@ __all__ = [
     "NoisyLearningEngine",
     "NoisyRunResult",
     "run_noisy_batch",
+    "run_noisy_population",
     "BudgetOutcome",
     "MinerRisk",
     "MisconvergenceReport",

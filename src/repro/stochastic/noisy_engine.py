@@ -204,6 +204,125 @@ class NoisyLearningEngine:
         )
 
 
+def run_noisy_population(
+    game: Game,
+    engine: NoisyLearningEngine,
+    seed_pairs: Sequence[Tuple[Any, Any]],
+) -> List[NoisyRunResult]:
+    """All replications in lockstep, with one batched final verdict.
+
+    Replications are independent streams, so advancing them
+    activation-major instead of replication-major changes no draw: each
+    replication's generator is consumed in exactly the scalar order
+    (activated-miner pick, optional exploration test, per-coin win
+    counts, optional inertia test). State lives in shared
+    ``(replications × miners)`` / ``(replications × coins)`` int64
+    arrays, settled replications retire from the loop, and the final
+    ``reached_equilibrium`` verdicts come from one batched
+    :func:`~repro.kernel.tensor.stable_mask` call instead of a per-run
+    scalar stability scan. Bit-identical to :meth:`NoisyLearningEngine.run`
+    over the same streams.
+    """
+    from repro.core.factories import random_configuration
+    from repro.kernel.core import KernelGame
+    from repro.kernel.tensor import stable_mask
+    from repro.stochastic.lottery import sample_win_count
+
+    kernel = KernelGame(game)
+    reps = len(seed_pairs)
+    n, k = kernel.n_miners, kernel.n_coins
+    budget = as_budget(engine.budget)
+    patience = engine.patience if engine.patience is not None else 4 * n
+
+    rngs: List[np.random.Generator] = []
+    assign = np.empty((reps, n), dtype=np.int64)
+    for r, (start_seed, run_seed) in enumerate(seed_pairs):
+        start = random_configuration(game, seed=np.random.default_rng(start_seed))
+        assign[r] = kernel.assignment_of(start)
+        rngs.append(np.random.default_rng(run_seed))
+    powers = np.asarray(kernel.powers, dtype=np.int64)
+    mass = np.zeros((reps, k), dtype=np.int64)
+    np.add.at(mass, (np.arange(reps)[:, None], assign), powers[None, :])
+
+    quiet = np.zeros(reps, dtype=np.int64)
+    moves = np.zeros(reps, dtype=np.int64)
+    rounds_sampled = np.zeros(reps, dtype=np.int64)
+    activations = np.zeros(reps, dtype=np.int64)
+    settled = np.zeros(reps, dtype=bool)
+    live = list(range(reps))
+    for t in range(engine.max_activations):
+        if not live:
+            break
+        rounds = budget.rounds_at(t)
+        still = []
+        for r in live:
+            if quiet[r] >= patience:
+                settled[r] = True
+                continue
+            still.append(r)
+            rng = rngs[r]
+            activations[r] = t + 1
+            i = int(rng.integers(0, n))
+            cur = int(assign[r, i])
+            power = int(powers[i])
+
+            if engine.exploration > 0.0 and k > 1 and rng.random() < engine.exploration:
+                target = int(rng.integers(0, k - 1))
+                if target >= cur:
+                    target += 1
+                mass[r, cur] -= power
+                mass[r, target] += power
+                assign[r, i] = target
+                moves[r] += 1
+                quiet[r] = 0
+                continue
+
+            wins_cur = sample_win_count(rng, power, int(mass[r, cur]), rounds)
+            rounds_sampled[r] += rounds
+            best = cur
+            best_score = wins_cur * kernel.rewards[cur]
+            for j in range(k):
+                if j == cur:
+                    continue
+                wins_j = sample_win_count(rng, power, int(mass[r, j]) + power, rounds)
+                rounds_sampled[r] += rounds
+                score = wins_j * kernel.rewards[j]
+                if score > best_score:
+                    best = j
+                    best_score = score
+            if best == cur:
+                quiet[r] += 1
+                continue
+            if engine.inertia > 0.0 and rng.random() < engine.inertia:
+                quiet[r] += 1
+                continue
+            mass[r, cur] -= power
+            mass[r, best] += power
+            assign[r, i] = best
+            moves[r] += 1
+            quiet[r] = 0
+        live = still
+    else:
+        # Budget exhausted exactly as patience ran out still counts.
+        for r in live:
+            settled[r] = quiet[r] >= patience
+
+    stable = stable_mask(kernel, assign)
+    coin_names = kernel.coin_names
+    return [
+        NoisyRunResult(
+            run_index=r,
+            final_coins=tuple(coin_names[j] for j in assign[r]),
+            activations=int(activations[r]),
+            moves=int(moves[r]),
+            settled=bool(settled[r]),
+            reached_equilibrium=bool(stable[r]),
+            rounds_sampled=int(rounds_sampled[r]),
+        )
+        for r in range(reps)
+    ]
+
+
 def _run_noisy_chunk(payload: Tuple[Any, ...]) -> List[NoisyRunResult]:
     """Worker: run a contiguous chunk of noisy replications for one game.
 
@@ -246,6 +365,8 @@ class NoisyBatchRunner(PooledRunner):
     max_workers: Optional[int] = None
     auto_process_threshold = 16
 
+    pool_modes = ("auto", "serial", "thread", "process", "vectorized")
+
     def __post_init__(self) -> None:
         self._init_pool()
         self._validate_pool_args()
@@ -256,16 +377,28 @@ class NoisyBatchRunner(PooledRunner):
         *,
         replications: int,
         engine: Optional[NoisyLearningEngine] = None,
-        seed: Optional[int] = None,
+        seed: Optional[Any] = None,
     ) -> List[NoisyRunResult]:
-        """*replications* noisy runs from random starts, in index order."""
+        """*replications* noisy runs from random starts, in index order.
+
+        ``seed`` may be an int or an existing ``SeedSequence`` (as
+        :func:`repro.run_many` hands out per-cell).
+        ``executor="vectorized"`` runs the replications through the
+        lockstep population stepper (:func:`run_noisy_population`) —
+        noisy draws are RNG-bound so the win is modest, but the final
+        stability verdicts batch through the tensor kernel and the
+        results are bit-identical.
+        """
         if replications < 1:
             raise ValueError(f"replications must be ≥ 1, got {replications}")
         if engine is None:
             engine = NoisyLearningEngine()
-        root = np.random.SeedSequence(seed)
+        root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
         streams = root.spawn(2 * replications)
         seed_pairs = [(streams[2 * i], streams[2 * i + 1]) for i in range(replications)]
+
+        if self.executor == "vectorized":
+            return run_noisy_population(game, engine, seed_pairs)
 
         def make_chunks(chunk_size: int):
             return [

@@ -25,6 +25,7 @@ Three questions the expected-payoff model cannot answer:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -222,47 +223,76 @@ def misconvergence_profile(
     inertia: float = 0.0,
     exploration: float = 0.0,
     seed: Optional[int] = None,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
     runner: Optional[NoisyBatchRunner] = None,
 ) -> MisconvergenceReport:
     """Sweep per-decision sample budgets and measure misconvergence.
 
     Every budget gets an independent child seed (adding budgets never
-    changes another budget's replications). Final states are judged
-    against the exact equilibrium set: the per-run kernel verdict and
-    set membership must agree — a mismatch raises, because it would
-    mean the sampler and the enumeration engine disagree about the
-    same game.
+    changes another budget's replications); the budget cells execute
+    through :func:`repro.run_many` with *executor* (identical results
+    in every mode). Final states are judged against the exact
+    equilibrium set: the per-run kernel verdict and set membership must
+    agree — a mismatch raises, because it would mean the sampler and
+    the enumeration engine disagree about the same game.
+
+    .. deprecated:: 1.2
+        ``runner=`` — pass ``executor=`` / ``max_workers=`` instead.
     """
     if not budgets:
         raise ValueError("need at least one sample budget")
     equilibria = tuple(enumerate_equilibria(game))
     equilibrium_set = frozenset(equilibria)
-    own_runner = runner is None
-    if runner is None:
-        runner = NoisyBatchRunner()
     children = np.random.SeedSequence(seed).spawn(len(budgets))
-    outcomes: List[BudgetOutcome] = []
-    try:
-        for budget, child in zip(budgets, children):
-            engine = NoisyLearningEngine(
-                budget=budget,
-                max_activations=max_activations,
-                patience=patience,
-                inertia=inertia,
-                exploration=exploration,
-            )
-            results = runner.run(
+    engines = [
+        NoisyLearningEngine(
+            budget=budget,
+            max_activations=max_activations,
+            patience=patience,
+            inertia=inertia,
+            exploration=exploration,
+        )
+        for budget in budgets
+    ]
+    if runner is not None:
+        warnings.warn(
+            "runner= is deprecated; pass executor= (and max_workers=) instead — "
+            "execution now routes through repro.run_many",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        per_budget = [
+            runner.run(
                 game,
                 replications=replications,
                 engine=engine,
                 seed=int(child.generate_state(1)[0]),
             )
-            outcomes.append(
-                _summarize_budget(game, _budget_label(budget), results, equilibrium_set)
-            )
-    finally:
-        if own_runner:
-            runner.close()
+            for engine, child in zip(engines, children)
+        ]
+    else:
+        from repro.run import RunSpec, run_many
+
+        per_budget = run_many(
+            [
+                RunSpec(
+                    game=game,
+                    runs=replications,
+                    kind="noisy",
+                    engine=engine,
+                    seed=int(child.generate_state(1)[0]),
+                    label=_budget_label(budget),
+                )
+                for budget, engine, child in zip(budgets, engines, children)
+            ],
+            executor=executor,
+            max_workers=max_workers,
+        )
+    outcomes = [
+        _summarize_budget(game, _budget_label(budget), results, equilibrium_set)
+        for budget, results in zip(budgets, per_budget)
+    ]
     return MisconvergenceReport(equilibria=equilibria, outcomes=tuple(outcomes))
 
 

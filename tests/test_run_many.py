@@ -1,0 +1,142 @@
+"""The :func:`repro.run_many` front door: equivalence, seeding, shims.
+
+Three families of guarantees:
+
+* **Executor equivalence** — the same cell list returns bit-identical
+  results under every executor mode (the whole point of the redesign).
+* **Seeding** — explicit ``RunSpec.seed`` reproduces the old per-layer
+  runners exactly, and derived seeds are append-stable.
+* **Deprecation shims** — ``runner=`` / ``workers=`` keep working but
+  warn, and a broken worker pool degrades quietly to serial with the
+  original error surfaced in the warning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EXECUTORS, RunSpec, run_many
+from repro.analysis.basins import basin_profile
+from repro.analysis.convergence import measure_convergence
+from repro.core.factories import random_game
+from repro.experiments.common import resolve_batch_runner, resolve_execution
+from repro.kernel.batch import BatchRunner, PooledRunner
+from repro.learning.policies import BestResponsePolicy, MinimalGainPolicy
+from repro.learning.schedulers import RoundRobinScheduler
+from repro.stochastic.noisy_engine import NoisyBatchRunner, NoisyLearningEngine
+
+
+def _cells():
+    game_a = random_game(6, 3, seed=1)
+    game_b = random_game(6, 3, seed=2)  # same shape: shares tensor buckets
+    game_c = random_game(9, 2, seed=3)
+    return [
+        RunSpec(game=game_a, runs=5, seed=11),
+        RunSpec(game=game_b, runs=5, policy=BestResponsePolicy(), seed=12),
+        RunSpec(game=game_c, runs=4, policy=MinimalGainPolicy(),
+                scheduler=RoundRobinScheduler(), seed=13),
+        RunSpec(game=game_a, runs=6, kind="noisy",
+                engine=NoisyLearningEngine(budget=8, max_activations=400), seed=14),
+    ]
+
+
+def test_every_executor_returns_identical_results():
+    reference = run_many(_cells(), executor="serial")
+    for mode in ("auto", "thread", "vectorized"):
+        assert run_many(_cells(), executor=mode) == reference
+
+
+def test_matches_direct_runner_calls():
+    """run_many is a router: cell results equal the underlying runners'."""
+    cells = _cells()
+    results = run_many(cells, executor="serial")
+    with BatchRunner() as runner:
+        for cell, cell_results in zip(cells[:3], results[:3]):
+            assert cell_results == runner.run(
+                cell.game, runs=cell.runs, policy=cell.policy,
+                scheduler=cell.scheduler, seed=cell.seed,
+            )
+    with NoisyBatchRunner() as runner:
+        assert results[3] == runner.run(
+            cells[3].game, replications=cells[3].runs,
+            engine=cells[3].engine, seed=cells[3].seed,
+        )
+
+
+def test_derived_seeds_are_append_stable():
+    """Appending a cell never changes earlier cells' derived randomness."""
+    game = random_game(5, 2, seed=4)
+    short = [RunSpec(game=game, runs=3)]
+    longer = short + [RunSpec(game=game, runs=3)]
+    assert run_many(short, seed=99)[0] == run_many(longer, seed=99)[0]
+
+
+def test_runspec_validation():
+    game = random_game(4, 2, seed=0)
+    with pytest.raises(ValueError, match="runs"):
+        RunSpec(game=game, runs=0)
+    with pytest.raises(ValueError, match="kind"):
+        RunSpec(game=game, runs=1, kind="bogus")
+    with pytest.raises(ValueError, match="backend"):
+        RunSpec(game=game, runs=1, backend="bogus")
+    with pytest.raises(ValueError, match="engine"):
+        RunSpec(game=game, runs=1, kind="noisy", policy=BestResponsePolicy())
+    with pytest.raises(ValueError, match="policy"):
+        RunSpec(game=game, runs=1, engine=NoisyLearningEngine())
+
+
+def test_executor_validation():
+    with pytest.raises(ValueError, match="executor"):
+        run_many([], executor="bogus")
+    assert run_many([], executor="auto") == []
+    assert set(EXECUTORS) == {"auto", "serial", "thread", "process", "vectorized"}
+
+
+def test_measure_convergence_runner_deprecated():
+    game = random_game(5, 2, seed=7)
+    fresh = measure_convergence(game, runs=6, seed=3)
+    with BatchRunner() as runner:
+        with pytest.warns(DeprecationWarning, match="runner= is deprecated"):
+            legacy = measure_convergence(game, runs=6, seed=3, runner=runner)
+    assert legacy == fresh
+
+
+def test_basin_profile_runner_deprecated():
+    game = random_game(5, 2, seed=8)
+    fresh = basin_profile(game, samples=10, seed=5)
+    with BatchRunner() as runner:
+        with pytest.warns(DeprecationWarning, match="runner= is deprecated"):
+            legacy = basin_profile(game, samples=10, seed=5, runner=runner)
+    assert legacy.counts == fresh.counts
+
+
+def test_workers_knob_deprecated():
+    with pytest.warns(DeprecationWarning, match="workers= is deprecated"):
+        assert resolve_execution(executor="auto", workers=2) == ("process", 2)
+    with pytest.warns(DeprecationWarning, match="workers= is deprecated"):
+        assert resolve_execution(executor="vectorized", workers=2) == ("vectorized", 2)
+    assert resolve_execution(executor="auto", workers=0) == ("auto", None)
+    with pytest.raises(ValueError):
+        resolve_execution(workers=-1)
+    with pytest.warns(DeprecationWarning, match="resolve_batch_runner is deprecated"):
+        runner = resolve_batch_runner(workers=1)
+    runner.close()
+    assert resolve_batch_runner(workers=0) is None
+
+
+def test_broken_pool_degrades_quietly_and_names_the_error(monkeypatch):
+    """Pool creation failure → serial results + the original exception."""
+    game = random_game(6, 2, seed=9)
+    reference = run_many([RunSpec(game=game, runs=8, seed=21)], executor="serial")[0]
+
+    def explode(self, mode, workers):
+        raise OSError("semaphores exhausted (simulated)")
+
+    monkeypatch.setattr(PooledRunner, "_get_pool", explode)
+    with pytest.warns(RuntimeWarning, match="OSError: semaphores exhausted"):
+        degraded = run_many(
+            [RunSpec(game=game, runs=8, seed=21)],
+            executor="process",
+            max_workers=2,
+        )[0]
+    assert degraded == reference
