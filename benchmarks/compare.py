@@ -10,6 +10,12 @@ and the speedup ratio (old ÷ new — >1 means the new run is faster);
 benches present in only one file are listed separately. The table is
 meant to be pasted into PR descriptions, next to the CI ``bench.json``
 artifacts it consumes.
+
+Both files carry the ``repro_stamp`` the benchmark harness embeds
+(library/python/numpy versions). When the stamps disagree the numbers
+measure different code, not a speedup, so the comparison is refused
+with exit code 2 — override with ``--force`` if you really mean it.
+Files without a stamp (pre-stamp artifacts) compare with a warning.
 """
 
 from __future__ import annotations
@@ -17,16 +23,58 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict
+from typing import Any, Dict, Optional, Tuple
+
+#: Stamp fields that must agree for a comparison to be meaningful.
+_STAMP_KEYS = ("repro_version", "python", "numpy")
 
 
-def _load(path: str) -> Dict[str, float]:
-    """benchmark fullname → mean seconds."""
+def _load(path: str) -> Tuple[Dict[str, float], Optional[Dict[str, Any]]]:
+    """benchmark fullname → mean seconds, plus the environment stamp."""
     with open(path) as handle:
         data = json.load(handle)
-    return {
+    means = {
         bench["fullname"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
     }
+    return means, data.get("repro_stamp")
+
+
+def _check_stamps(
+    old_stamp: Optional[Dict[str, Any]],
+    new_stamp: Optional[Dict[str, Any]],
+    force: bool,
+) -> bool:
+    """Whether the two runs are comparable; prints warnings/refusals."""
+    if old_stamp is None or new_stamp is None:
+        for label, stamp in (("old", old_stamp), ("new", new_stamp)):
+            if stamp is None:
+                print(
+                    f"warning: {label} bench.json carries no repro_stamp; "
+                    "cannot verify it ran the same library version",
+                    file=sys.stderr,
+                )
+        return True
+    mismatched = [
+        key
+        for key in _STAMP_KEYS
+        if old_stamp.get(key) != new_stamp.get(key)
+    ]
+    if not mismatched:
+        return True
+    for key in mismatched:
+        print(
+            f"{'refusing' if not force else 'warning'}: {key} differs between runs "
+            f"({old_stamp.get(key)!r} vs {new_stamp.get(key)!r})",
+            file=sys.stderr,
+        )
+    if force:
+        return True
+    print(
+        "these artifacts measure different code/toolchains, not a speedup; "
+        "rerun the baseline on this version or pass --force",
+        file=sys.stderr,
+    )
+    return False
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -41,10 +89,17 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline bench.json (e.g. from main)")
     parser.add_argument("new", help="candidate bench.json (e.g. from the PR)")
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="compare even when the environment stamps disagree",
+    )
     args = parser.parse_args(argv)
 
-    old = _load(args.old)
-    new = _load(args.new)
+    old, old_stamp = _load(args.old)
+    new, new_stamp = _load(args.new)
+    if not _check_stamps(old_stamp, new_stamp, args.force):
+        return 2
     shared = sorted(set(old) & set(new))
     if not shared:
         print("no common benchmarks between the two files", file=sys.stderr)

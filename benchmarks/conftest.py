@@ -9,11 +9,22 @@ metrics EXPERIMENTS.md records.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Saved ``bench.json`` artifacts carry a ``repro_stamp`` (library/python/
+numpy versions, git SHA, hostname) so ``benchmarks/compare.py`` can
+refuse to diff runs from different library or toolchain versions.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp saved benchmark JSON with the environment it ran in."""
+    from repro.obs.manifest import environment_stamp
+
+    output_json["repro_stamp"] = environment_stamp()
 
 
 @pytest.fixture

@@ -179,6 +179,12 @@ Subpackages
     analysis, and the chainsim bridge.
 ``repro.experiments``
     The E1–E16 experiment runners behind ``benchmarks/``.
+``repro.obs``
+    Zero-overhead observability: the :class:`~repro.obs.Recorder`
+    counter/timer/event protocol (NullRecorder default — disabled
+    instrumentation costs nothing and changes nothing), JSONL traces,
+    run manifests, the ``repro.*`` logging tree, and the CLI's
+    ``--metrics``/``--trace`` surface.
 
 Module layer map (``repro.run`` sits on top)::
 
@@ -186,6 +192,7 @@ Module layer map (``repro.run`` sits on top)::
       ├─ repro.kernel.tensor                ← vectorized populations
       ├─ repro.kernel.batch                 ← pooled/serial trajectories
       └─ repro.stochastic.noisy_engine      ← noisy replication batches
+    repro.obs (Recorder / traces / manifests) ← every layer emits into it
 """
 
 from repro.core import (
@@ -228,6 +235,7 @@ from repro.learning import (
     converge,
 )
 from repro.manipulation import find_better_equilibrium_exhaustive, manipulation_roi
+from repro import obs
 from repro.run import EXECUTORS, RunSpec, run_many
 from repro.stochastic import (
     NoisyBatchRunner,
@@ -240,7 +248,7 @@ from repro.stochastic import (
     sample_block_wins,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Coin",
@@ -285,6 +293,7 @@ __all__ = [
     "EXECUTORS",
     "RunSpec",
     "run_many",
+    "obs",
     "NoisyBatchRunner",
     "NoisyLearningEngine",
     "NoisyRunResult",

@@ -4,12 +4,19 @@ Commands
 --------
 ``list``
     Show the available experiments with one-line descriptions.
-``run E7 [--seed N] [--fast] [--backend B] [--executor X] [--workers N]``
+``run E7 [--seed N] [--fast] [--backend B] [--executor X] [--workers N]
+[--metrics] [--trace PATH]``
     Run one experiment and print its table (``--fast`` shrinks the
     workload for a quick look; ``--backend``/``--executor``/``--workers``
     are passed through to runners that accept them — same numbers,
     different speed; ``--workers`` is the deprecated spelling of
-    ``--executor process``).
+    ``--executor process``). ``--metrics`` prints the observability
+    summary table; ``--trace PATH`` writes a JSONL event trace plus a
+    ``PATH.manifest.json`` run manifest (args, seed, versions, wall
+    time, counter totals).
+
+Global flags (before the subcommand): ``-v``/``-q`` raise/lower the
+``repro.*`` logging level (repeatable).
 ``all [--fast]``
     Run every experiment in order.
 ``demo [--miners N] [--coins K] [--seed N] [--backend B] [--executor X] [--noisy]``
@@ -34,6 +41,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Game of Coins (ICDCS 2021) reproduction toolkit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more repro.* logging (repeatable: -v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less repro.* logging (repeatable)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -60,6 +75,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="deprecated: use --executor process (0 = serial)",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/timers and print the observability summary",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace to PATH plus PATH.manifest.json",
     )
 
     run_all = subparsers.add_parser("all", help="run every experiment")
@@ -123,6 +149,8 @@ def _cmd_run(
     backend: Optional[str] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    metrics: bool = False,
+    trace: Optional[str] = None,
 ) -> int:
     spec = EXPERIMENTS[name]
     params = dict(spec.fast_params) if fast else {}
@@ -140,9 +168,46 @@ def _cmd_run(
                 out.write(f"note: {name} does not take --{knob}; ignoring\n")
             else:
                 params[knob] = value
-    result = spec.run(**params)
+    if not metrics and trace is None:
+        result = spec.run(**params)
+        out.write(result.render() + "\n")
+        out.write(f"\nmetrics: {result.metrics}\n")
+        return 0
+
+    from time import perf_counter
+
+    from repro.obs import MetricsRecorder, RunManifest, TraceWriter, observe, report
+
+    writer = TraceWriter(trace) if trace is not None else None
+    recorder = MetricsRecorder(trace=writer)
+    started = perf_counter()
+    with observe(recorder):
+        result = spec.run(**params)
+    wall = perf_counter() - started
     out.write(result.render() + "\n")
     out.write(f"\nmetrics: {result.metrics}\n")
+    if writer is not None:
+        writer.close()
+        manifest_path = f"{writer.path}.manifest.json"
+        RunManifest.from_recorder(
+            recorder,
+            command=f"run {name}",
+            args={
+                "experiment": name,
+                "seed": seed,
+                "fast": fast,
+                "backend": backend,
+                "executor": executor,
+                "workers": workers,
+            },
+            seed=seed,
+            executor=executor if executor is not None else "auto",
+            wall_seconds=wall,
+        ).write(manifest_path)
+        out.write(f"trace: {writer.path} ({writer.records} records)\n")
+        out.write(f"manifest: {manifest_path}\n")
+    if metrics:
+        out.write("\n" + report(recorder).render() + "\n")
     return 0
 
 
@@ -214,12 +279,17 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
+    if args.verbose or args.quiet:
+        from repro.obs import configure_logging
+
+        configure_logging(args.verbose - args.quiet)
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
         return _cmd_run(
             args.experiment, args.seed, args.fast, out,
             backend=args.backend, executor=args.executor, workers=args.workers,
+            metrics=args.metrics, trace=args.trace,
         )
     if args.command == "all":
         code = 0

@@ -28,7 +28,7 @@ from repro.util.tables import Table
 
 
 def resolve_execution(
-    *, executor: str = "auto", workers: int = 0
+    *, executor: str = "auto", workers: int = 0, stacklevel: int = 2
 ) -> Tuple[str, Optional[int]]:
     """The experiments' execution knobs → ``(executor, max_workers)``.
 
@@ -37,6 +37,11 @@ def resolve_execution(
     to ``("process", workers)`` unless an explicit non-default
     *executor* already says otherwise. Results are identical across all
     modes, so the knobs only pick speed.
+
+    ``stacklevel`` aims the warning: the default 2 points at the direct
+    caller; shims forwarding their own ``workers=`` argument (the
+    experiment ``run()`` functions) pass 3 so the warning lands on
+    *their* caller — the line that actually wrote ``workers=``.
     """
     if workers < 0:
         raise ValueError(f"workers must be non-negative, got {workers}")
@@ -46,7 +51,7 @@ def resolve_execution(
         "workers= is deprecated; pass executor='process' (and max_workers=) — "
         "execution now routes through repro.run_many",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
     if executor == "auto":
         return "process", workers
@@ -58,12 +63,14 @@ def resolve_batch_runner(
     backend: str = "fast",
     workers: int = 0,
     executor: str = "process",
+    stacklevel: int = 2,
 ) -> Optional[BatchRunner]:
     """Deprecated: the old ``workers=`` convention → an optional runner.
 
     Kept as a shim for one release; use :func:`repro.run_many` (or
     :func:`resolve_execution`) instead. ``workers=0`` returns ``None``
     without warning — that was always the "no runner" spelling.
+    ``stacklevel`` follows the :func:`resolve_execution` convention.
     """
     if workers < 0:
         raise ValueError(f"workers must be non-negative, got {workers}")
@@ -73,7 +80,7 @@ def resolve_batch_runner(
         "resolve_batch_runner is deprecated; route execution through "
         "repro.run_many (see resolve_execution)",
         DeprecationWarning,
-        stacklevel=2,
+        stacklevel=stacklevel,
     )
     return BatchRunner(backend=backend, executor=executor, max_workers=workers)
 

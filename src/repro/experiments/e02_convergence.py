@@ -57,7 +57,7 @@ def run(
     """
     from repro.run import RunSpec, run_many
 
-    executor, max_workers = resolve_execution(executor=executor, workers=workers)
+    executor, max_workers = resolve_execution(executor=executor, workers=workers, stacklevel=3)
     policies = (RandomImprovingPolicy(), BestResponsePolicy(), MinimalGainPolicy())
     table = Table(
         "E2 — convergence of better-response learning (Theorem 1)",

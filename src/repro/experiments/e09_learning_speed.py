@@ -66,7 +66,7 @@ def run(
     """
     from repro.run import RunSpec, run_many
 
-    executor, max_workers = resolve_execution(executor=executor, workers=workers)
+    executor, max_workers = resolve_execution(executor=executor, workers=workers, stacklevel=3)
     rngs = spawn_rngs(seed, 4)
     game = random_game(
         miners, coins, power_distribution=power_distribution, seed=rngs[0]

@@ -55,7 +55,7 @@ def run(
     identical in every mode. ``workers=`` is the deprecated spelling of
     ``executor="process"``.
     """
-    executor, max_workers = resolve_execution(executor=executor, workers=workers)
+    executor, max_workers = resolve_execution(executor=executor, workers=workers, stacklevel=3)
     table = Table(
         "E15 — noisy better-response learning vs. the exact prediction",
         [

@@ -31,6 +31,10 @@ import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.core.game import Game
+from repro.obs.log import get_logger
+from repro.obs.recorder import get_recorder
+
+logger = get_logger("kernel.batch")
 
 #: Below this many runs a process pool costs more than it saves.
 _AUTO_PROCESS_THRESHOLD = 32
@@ -118,6 +122,16 @@ class PooledRunner:
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, items)
         chunks = make_chunks(-(-items // workers))
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.event(
+                "pool.map",
+                runner=type(self).__name__,
+                mode=mode,
+                workers=workers,
+                chunks=len(chunks),
+                items=items,
+            )
         try:
             pool = self._get_pool(mode, workers)
             parts = list(pool.map(worker, chunks))
@@ -129,6 +143,20 @@ class PooledRunner:
             # degrade quietly. Exceptions raised *inside* a task
             # propagate — from the serial rerun if caught here.
             self.close()
+            if recorder.enabled:
+                recorder.count("pool.degradations")
+                recorder.event(
+                    "pool.degraded",
+                    runner=type(self).__name__,
+                    mode=mode,
+                    error=type(error).__name__,
+                )
+            logger.warning(
+                "%s: %s executor unavailable (%s); running serially",
+                type(self).__name__,
+                mode,
+                type(error).__name__,
+            )
             warnings.warn(
                 f"{type(self).__name__}: {mode} executor unavailable "
                 f"({type(error).__name__}: {error}); running serially",

@@ -69,6 +69,7 @@ from repro.core.miner import Miner
 from repro.core.restricted import RestrictedGame, normalize_mask
 from repro.exceptions import InvalidConfigurationError, InvalidModelError
 from repro.kernel.core import KernelGame
+from repro.obs.recorder import get_recorder
 
 
 def _distinct_permutations(values: Sequence[int]) -> Iterator[Tuple[int, ...]]:
@@ -591,13 +592,27 @@ class ConfigSpace:
                         )
                     codes.extend(self.orbit_codes(assign))
             codes.sort()
-            return codes
-        codes = [
-            code
-            for code, assign, mass in self.iter_gray()
-            if self.is_stable_state(assign, mass)
-        ]
-        codes.sort()
+        else:
+            codes = [
+                code
+                for code, assign, mass in self.iter_gray()
+                if self.is_stable_state(assign, mass)
+            ]
+            codes.sort()
+        recorder = get_recorder()
+        if recorder.enabled:
+            # The symmetric path stability-checks one node per orbit.
+            visited = self.orbit_count() if self.symmetry else self.size
+            recorder.count("space.scans")
+            recorder.count("space.codes_visited", visited)
+            recorder.count("space.equilibria", len(codes))
+            recorder.event(
+                "space.scan",
+                visited=visited,
+                total=self.size,
+                equilibria=len(codes),
+                symmetry=self.symmetry,
+            )
         return codes
 
     def equilibria(self, *, max_codes: Optional[int] = None) -> List[Configuration]:
@@ -631,8 +646,22 @@ class ConfigSpace:
         """
         use_symmetry = self.symmetry if symmetry is None else (symmetry and self.has_symmetry)
         if use_symmetry:
-            return self._dag_quotient(max_sinks=max_sinks)
-        return self._dag_full()
+            result = self._dag_quotient(max_sinks=max_sinks)
+        else:
+            result = self._dag_full()
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("space.scans")
+            recorder.count("space.codes_visited", result.nodes_scanned)
+            recorder.event(
+                "space.dag",
+                nodes_scanned=result.nodes_scanned,
+                total=result.total_configurations,
+                sinks=len(result.sink_codes),
+                acyclic=result.acyclic,
+                symmetry=result.symmetry_reduced,
+            )
+        return result
 
     def _dag_full(self) -> DagReport:
         if self._allowed_idx is not None:
@@ -763,6 +792,13 @@ class ConfigSpace:
                 if child not in seen:
                     seen.add(child)
                     frontier.append(child)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("space.scans")
+            recorder.count("space.codes_visited", len(seen))
+            recorder.event(
+                "space.reachable", start=start, visited=len(seen), sinks=len(sinks)
+            )
         return sinks
 
     # ------------------------------------------------------------------
@@ -788,7 +824,12 @@ class ConfigSpace:
         powers = self.kernel.powers
         alphabets = self._alphabets
         pairs = list(itertools.combinations(range(n), 2))
+        recorder = get_recorder()
+        observing = recorder.enabled
+        scanned = 0
         for code, assign, mass in self.iter_product():
+            if observing:
+                scanned += 1
             for a, b in pairs:
                 ca = assign[a]
                 cb = assign[b]
@@ -824,7 +865,23 @@ class ConfigSpace:
                             num = num * d + value * den
                             den *= d
                         if num != 0:
+                            if observing:
+                                recorder.count("space.scans")
+                                recorder.count("space.codes_visited", scanned)
+                                recorder.event(
+                                    "space.four_cycle",
+                                    visited=scanned,
+                                    total=self.size,
+                                    early_exit=True,
+                                    witness_code=code,
+                                )
                             return (code, a, ja, b, jb)
+        if observing:
+            recorder.count("space.scans")
+            recorder.count("space.codes_visited", scanned)
+            recorder.event(
+                "space.four_cycle", visited=scanned, total=self.size, early_exit=False
+            )
         return None
 
     def __repr__(self) -> str:

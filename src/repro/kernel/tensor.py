@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.exceptions import ConvergenceError
 from repro.kernel.core import KernelGame
+from repro.obs.recorder import get_recorder
 
 __all__ = [
     "TrajectoryJob",
@@ -231,6 +232,8 @@ def run_trajectory_population(jobs: Sequence[TrajectoryJob]) -> List[TrajectoryO
     outcomes: List[Optional[TrajectoryOutcome]] = [None] * len(jobs)
     lanes: Dict[int, str] = {}
     buckets: Dict[tuple, List[int]] = {}
+    recorder = get_recorder()
+    observing = recorder.enabled
     for pos, job in enumerate(jobs):
         if job.policy not in VECTOR_POLICIES:
             raise ValueError(f"policy must be one of {VECTOR_POLICIES}, got {job.policy!r}")
@@ -241,6 +244,8 @@ def run_trajectory_population(jobs: Sequence[TrajectoryJob]) -> List[TrajectoryO
         lane = lanes.get(id(job.kernel))
         if lane is None:
             lane = lanes[id(job.kernel)] = kernel_lane(job.kernel)
+        if observing:
+            recorder.count("tensor.lane." + lane)
         if lane == "exact":
             outcomes[pos] = _run_scalar_job(job)
             continue
@@ -254,6 +259,17 @@ def run_trajectory_population(jobs: Sequence[TrajectoryJob]) -> List[TrajectoryO
         )
         buckets.setdefault(key, []).append(pos)
     for key, positions in buckets.items():
+        if observing:
+            recorder.count("tensor.buckets")
+            recorder.event(
+                "tensor.bucket",
+                miners=key[0],
+                coins=key[1],
+                policy=key[2],
+                scheduler=key[3],
+                lane=key[-1],
+                jobs=len(positions),
+            )
         results = _run_bucket([jobs[p] for p in positions], lane=key[-1])
         for p, outcome in zip(positions, results):
             outcomes[p] = outcome
@@ -361,6 +377,9 @@ def _f64_margin_rows(powers, rewards, assign, mass, allowed_m, gis, iis):
     the f64 gap — generically none — with exact integer arithmetic.
     The returned rows are truth, not an approximation.
     """
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("tensor.escalations.f64", len(gis))
     cur = assign[gis, iis]
     mc = mass[gis, cur].astype(np.float64)
     rc = rewards[gis, cur].astype(np.float64)
@@ -375,7 +394,9 @@ def _f64_margin_rows(powers, rewards, assign, mass, allowed_m, gis, iis):
         dis = ~allowed_m[gis, iis]
         imp &= ~dis
         gap &= ~dis
-    if np.count_nonzero(gap):
+    gap_count = int(np.count_nonzero(gap))
+    if gap_count:
+        recorder.count("tensor.escalations.exact", gap_count)
         for ri, j in zip(*np.nonzero(gap)):
             imp[ri, j] = _exact_improves(
                 powers, rewards, assign, mass, allowed_m, int(gis[ri]), int(iis[ri]), int(j)
@@ -415,7 +436,9 @@ def _improving_tensor(powers, rewards, assign, mass, allowed_m, exact, float_aux
         gap = (A > (powers_f - slack[:, None])[:, :, None]) ^ imp
         if allowed_m is not None:
             gap &= allowed_m
-        if np.count_nonzero(gap):
+        gap_count = int(np.count_nonzero(gap))
+        if gap_count:
+            get_recorder().count("tensor.escalations.exact", gap_count)
             for gi, i, j in zip(*np.nonzero(gap)):
                 imp[gi, i, j] = _exact_improves(
                     powers, rewards, assign, mass, allowed_m, gi, i, j
@@ -452,8 +475,10 @@ def _best_response_targets(rewards, mass, cur, p_sel, allow_sel, exact, rewards_
             diff = lhs - rhs
             tol = (lhs + rhs) * _REL_TOL
             beat = diff > tol
-            unsure = (diff >= -tol) & ~beat & elig
-            for gi in np.flatnonzero(unsure):
+            unsure = np.flatnonzero((diff >= -tol) & ~beat & elig)
+            if unsure.size:
+                get_recorder().count("tensor.escalations.exact", int(unsure.size))
+            for gi in unsure:
                 beat[gi] = int(rewards[gi, j]) * int(best_den[gi]) > int(best_r[gi]) * int(
                     den_j[gi]
                 )
@@ -496,8 +521,10 @@ def _extreme_gain_targets(rewards, mass, mrow, p_sel, rank, exact, maximize, rew
             tol = (lhs + rhs) * _REL_TOL
             gt = diff > tol
             eq = np.zeros(g, dtype=bool)
-            unsure = (diff >= -tol) & ~gt & mj & have
-            for gi in np.flatnonzero(unsure):
+            unsure = np.flatnonzero((diff >= -tol) & ~gt & mj & have)
+            if unsure.size:
+                get_recorder().count("tensor.escalations.exact", int(unsure.size))
+            for gi in unsure:
                 lhs_e = int(rewards[gi, j]) * int(best_den[gi])
                 rhs_e = int(best_r[gi]) * int(den_j[gi])
                 gt[gi] = lhs_e > rhs_e
@@ -517,6 +544,7 @@ def _extreme_gain_targets(rewards, mass, mrow, p_sel, rank, exact, maximize, rew
 
 def _run_bucket(jobs: Sequence[TrajectoryJob], lane: str) -> List[TrajectoryOutcome]:
     """Run one same-shape, same-strategy bucket in lockstep."""
+    recorder = get_recorder()
     total = len(jobs)
     n = jobs[0].kernel.n_miners
     k = jobs[0].kernel.n_coins
@@ -630,6 +658,8 @@ def _run_bucket(jobs: Sequence[TrajectoryJob], lane: str) -> List[TrajectoryOutc
                     int(steps[gi]), False, tuple(int(c) for c in assign[gi])
                 )
             keep = ~(done | exhausted)
+            if recorder.enabled:
+                recorder.count("tensor.compactions")
             if not keep.any():
                 break
             sel = np.flatnonzero(keep)
@@ -735,6 +765,18 @@ def _run_bucket(jobs: Sequence[TrajectoryJob], lane: str) -> List[TrajectoryOutc
         mass[rows, target] += p_sel
         assign[rows, miner] = target
         steps += 1
+    if recorder.enabled:
+        # The same totals the scalar stepper emits per run, so counter
+        # sums agree across executors: every live iteration scanned each
+        # game once, and the retirement iteration scanned without
+        # stepping, hence scans = steps + 1 per job.
+        total_steps = sum(outcome.steps for outcome in outcomes)
+        recorder.count("engine.runs", total)
+        recorder.count("engine.steps", total_steps)
+        recorder.count("engine.scans", total_steps + total)
+        recorder.count(
+            "engine.converged", sum(1 for outcome in outcomes if outcome.converged)
+        )
     return outcomes  # type: ignore[return-value]
 
 
@@ -884,6 +926,9 @@ def _best_response_all(powers, rewards, assign, mass, exact, powers_f, rewards_f
             tol = (lhs + rhs) * _REL_TOL
             beat = diff > tol
             unsure = (diff >= -tol) & ~beat & elig
+            unsure_count = int(np.count_nonzero(unsure))
+            if unsure_count:
+                get_recorder().count("tensor.escalations.exact", unsure_count)
             for gi, i in zip(*np.nonzero(unsure)):
                 beat[gi, i] = int(rewards[gi, j]) * int(best_den[gi, i]) > int(
                     best_r[gi, i]

@@ -30,6 +30,7 @@ integer fast path and incremental state maintenance exist in one place.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -37,6 +38,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.exceptions import ConvergenceError
+from repro.obs.recorder import get_recorder
 from repro.learning.policies import BetterResponsePolicy, RandomImprovingPolicy
 from repro.learning.schedulers import ActivationScheduler, UniformRandomScheduler
 from repro.learning.trajectory import Step, Trajectory
@@ -89,6 +91,8 @@ def run_better_response(
         record = "configs" if record_configurations else "steps"
     elif record not in RECORD_MODES:
         raise ValueError(f"record must be one of {RECORD_MODES}, got {record!r}")
+    recorder = get_recorder()
+    run_started = perf_counter() if recorder.enabled else 0.0
     choose = policy.view_chooser()
     pick = scheduler.view_picker()
     scheduler.reset()
@@ -144,6 +148,19 @@ def run_better_response(
             )
     if record != "configs" and trajectory.length:
         trajectory.configurations.append(view.configuration())
+    if recorder.enabled:
+        # Totals only, emitted once per run: the per-step path stays
+        # untouched, so the NullRecorder default is truly zero-overhead
+        # and the RNG draw sequence is identical either way. Every loop
+        # iteration scanned for unstable miners, and the budget-exhausted
+        # epilogue re-checked stability once, so scans = steps + 1.
+        steps = trajectory.length
+        recorder.add_time("engine.run", perf_counter() - run_started)
+        recorder.count("engine.runs")
+        recorder.count("engine.steps", steps)
+        recorder.count("engine.scans", steps + 1)
+        if trajectory.converged:
+            recorder.count("engine.converged")
     return trajectory
 
 

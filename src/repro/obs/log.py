@@ -1,0 +1,63 @@
+"""The ``repro.*`` stdlib logging hierarchy.
+
+The library logs through one logger tree rooted at ``"repro"``, with a
+``NullHandler`` attached at import so an un-configured application sees
+nothing (the stdlib convention for libraries). Applications configure
+it like any stdlib logger::
+
+    import logging
+    logging.getLogger("repro").setLevel(logging.INFO)
+    logging.basicConfig()
+
+or use :func:`configure_logging`, which maps the CLI's ``-v``/``-q``
+verbosity counts onto levels and installs one stream handler (replacing
+any handler it installed before, so repeated calls don't duplicate
+output). Log calls live at run *boundaries* — cell dispatch, pool
+degradations, trace/manifest writes — never inside per-step loops, so
+logging costs nothing on the hot paths even when enabled.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Optional
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+#: Marker attribute identifying the handler configure_logging installed.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` root logger, or the ``repro.<name>`` child."""
+    return _ROOT.getChild(name) if name else _ROOT
+
+
+def configure_logging(verbosity: int = 0, *, stream: Optional[Any] = None) -> logging.Logger:
+    """Wire the ``repro.*`` tree to a stream at a verbosity level.
+
+    ``verbosity`` is the CLI convention: ``-1`` (``-q``) shows errors
+    only, ``0`` warnings, ``1`` (``-v``) info, ``2+`` (``-vv``) debug.
+    Returns the root logger.
+    """
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    for handler in list(_ROOT.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            _ROOT.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s %(levelname)s: %(message)s"))
+    setattr(handler, _HANDLER_TAG, True)
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(level)
+    return _ROOT

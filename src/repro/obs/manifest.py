@@ -1,0 +1,123 @@
+"""Run manifests: what ran, where, and what it counted.
+
+A :class:`RunManifest` is the machine-readable receipt of one run —
+the command and arguments, the seed, the executor, an environment
+stamp (library/python/numpy versions, git SHA, hostname), per-phase
+wall time from the recorder's timers, and every counter total. It is
+written next to experiment output (the CLI places it beside the
+``--trace`` file) so a result can always be traced back to the exact
+code and configuration that produced it — the prerequisite for the
+sweep fabric's resumable shard manifests.
+
+:func:`environment_stamp` is also what ``benchmarks/conftest.py``
+embeds in ``bench.json`` so ``benchmarks/compare.py`` can refuse
+cross-version comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["RunManifest", "environment_stamp"]
+
+
+def _git_sha() -> Optional[str]:
+    """The repository HEAD SHA, or None outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def environment_stamp() -> Dict[str, Any]:
+    """Versions, platform and provenance of the running library."""
+    from repro import __version__
+
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "hostname": socket.gethostname(),
+        "git_sha": _git_sha(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """The receipt of one observed run; serialize with :meth:`write`."""
+
+    command: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    executor: Optional[str] = None
+    wall_seconds: float = 0.0
+    environment: Dict[str, Any] = field(default_factory=environment_stamp)
+    #: Counter totals from the recorder (e.g. ``engine.steps``).
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, Any] = field(default_factory=dict)
+    #: Per-phase wall time: name → {"seconds": ..., "count": ...}.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: Any,
+        *,
+        command: str,
+        args: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        executor: Optional[str] = None,
+        wall_seconds: float = 0.0,
+    ) -> "RunManifest":
+        """Fold a :class:`~repro.obs.recorder.MetricsRecorder` into a manifest."""
+        snapshot = recorder.snapshot() if hasattr(recorder, "snapshot") else {}
+        return cls(
+            command=command,
+            args=dict(args or {}),
+            seed=seed,
+            executor=executor,
+            wall_seconds=wall_seconds,
+            counters=snapshot.get("counters", {}),
+            gauges=snapshot.get("gauges", {}),
+            phases=snapshot.get("timers", {}),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "command": self.command,
+            "args": self.args,
+            "seed": self.seed,
+            "executor": self.executor,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "environment": self.environment,
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "phases": self.phases,
+        }
+
+    def write(self, path: str) -> str:
+        """Write the manifest as pretty JSON; returns *path*."""
+        from repro.obs.trace import _json_default
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=_json_default)
+            handle.write("\n")
+        return path

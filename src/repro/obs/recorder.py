@@ -1,0 +1,215 @@
+"""The Recorder protocol and its two implementations.
+
+Instrumentation in this library is *pull-free*: hot code asks
+:func:`get_recorder` for the process-wide recorder and emits counters,
+timer spans, gauges and events into it. The default recorder is
+:data:`NULL_RECORDER` — a no-op singleton — and every hook site guards
+its bookkeeping behind ``recorder.enabled``, so with observability off
+(the default) the hot loops execute the same instructions as before
+this subsystem existed: no dict updates, no string formatting, no RNG
+perturbation, bit-identical results. The parity suites run with the
+NullRecorder installed and must keep passing unchanged.
+
+Switch a region on with :func:`observe`::
+
+    from repro import obs
+
+    with obs.observe(obs.MetricsRecorder()) as rec:
+        run_many(cells)
+    print(obs.report(rec).render())
+
+:class:`MetricsRecorder` aggregates named counters (monotonic integer
+sums), gauges (last value wins), and timers (``perf_counter`` span
+totals with call counts), and forwards structured events to an optional
+:class:`~repro.obs.trace.TraceWriter` for JSONL export. Updates are
+lock-protected so the ``"thread"`` executor's workers can share one
+recorder; multi-*process* workers do not share memory, so pooled
+``"process"`` runs record coordination-level metrics (cells, packs,
+degradations) in the parent but not the workers' per-step counters —
+the ``"serial"`` and ``"vectorized"`` executors record everything.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "observe",
+]
+
+
+class _NullSpan:
+    """The no-op timer span; one shared instance, nothing measured."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """What every instrumentation sink implements.
+
+    The base class *is* the no-op implementation (every method returns
+    immediately), so subclasses override only what they collect.
+    ``enabled`` is the hot-path guard: hook sites skip all bookkeeping —
+    even building the values they would record — when it is ``False``.
+    """
+
+    #: Hot-path guard; hook sites emit nothing when this is ``False``.
+    enabled: bool = False
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add *value* to the named monotonic counter."""
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Set the named gauge to *value* (last write wins)."""
+
+    def timer(self, name: str) -> Any:
+        """A context manager accumulating a ``perf_counter`` span."""
+        return _NULL_SPAN
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add one measured span to the named timer directly."""
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit one structured event (traced as a JSONL record)."""
+
+
+class NullRecorder(Recorder):
+    """The default: record nothing, cost nothing, change nothing."""
+
+    __slots__ = ()
+
+
+#: The process-wide default recorder. Hook sites compare against
+#: ``enabled`` rather than this identity, so custom no-ops work too.
+NULL_RECORDER = NullRecorder()
+
+_current: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The currently installed recorder (the NullRecorder by default)."""
+    return _current
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Install *recorder* process-wide; returns the previous one.
+
+    ``None`` restores the :data:`NULL_RECORDER`. Prefer the
+    :func:`observe` context manager, which restores automatically.
+    """
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def observe(recorder: Recorder) -> Iterator[Recorder]:
+    """Install *recorder* for the duration of the ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+class _TimerSpan:
+    """One ``perf_counter`` span feeding a :class:`MetricsRecorder`."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "MetricsRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_TimerSpan":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._recorder.add_time(self._name, perf_counter() - self._start)
+        return False
+
+
+class MetricsRecorder(Recorder):
+    """Aggregate counters, gauges, timers; forward events to a trace.
+
+    ``trace`` is an optional :class:`~repro.obs.trace.TraceWriter`;
+    events are appended to the in-memory ``events`` list either way, so
+    tests and reports work without a file. All updates take the
+    recorder's lock — cheap at the boundary-level frequency the hook
+    sites emit at, and required for the ``"thread"`` executor.
+    """
+
+    enabled = True
+
+    def __init__(self, trace: Any = None) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, Any] = {}
+        #: name → [total_seconds, span_count]
+        self.timers: Dict[str, List[float]] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.trace = trace
+        self._lock = threading.Lock()
+
+    # -- sinks ---------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Any) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def timer(self, name: str) -> _TimerSpan:
+        return _TimerSpan(self, name)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self.timers.setdefault(name, [0.0, 0])
+            bucket[0] += seconds
+            bucket[1] += 1
+
+    def event(self, name: str, **fields: Any) -> None:
+        with self._lock:
+            self.events.append({"event": name, **fields})
+        if self.trace is not None:
+            self.trace.write(name, **fields)
+
+    # -- reads ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe copy of everything collected so far."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "timers": {
+                    name: {"seconds": total, "count": count}
+                    for name, (total, count) in self.timers.items()
+                },
+                "events": len(self.events),
+            }

@@ -1,0 +1,36 @@
+"""Human-readable summary of what a recorder collected."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.recorder import MetricsRecorder, Recorder, get_recorder
+from repro.util.tables import Table
+
+__all__ = ["report"]
+
+
+def report(recorder: Optional[Recorder] = None) -> Table:
+    """Render a recorder's counters, timers and gauges as one table.
+
+    With no argument, reports on the currently installed recorder; a
+    :class:`~repro.obs.recorder.NullRecorder` (or anything without
+    collected state) yields an empty table rather than an error.
+    """
+    recorder = recorder if recorder is not None else get_recorder()
+    table = Table("observability summary", ["metric", "kind", "value"])
+    if not isinstance(recorder, MetricsRecorder):
+        return table
+    snapshot = recorder.snapshot()
+    for name in sorted(snapshot["counters"]):
+        table.add_row(name, "counter", snapshot["counters"][name])
+    for name in sorted(snapshot["timers"]):
+        timing = snapshot["timers"][name]
+        table.add_row(
+            name, "timer", f"{timing['seconds']:.4f}s over {timing['count']} span(s)"
+        )
+    for name in sorted(snapshot["gauges"]):
+        table.add_row(name, "gauge", snapshot["gauges"][name])
+    if snapshot["events"]:
+        table.add_row("events", "trace", snapshot["events"])
+    return table

@@ -1,0 +1,70 @@
+"""Structured JSONL trace export.
+
+A :class:`TraceWriter` is an append-only event sink: one JSON object
+per line, each stamped with the wall-clock time the writer was opened
+plus a monotonic ``t`` offset (``perf_counter`` seconds since open), so
+traces line up with the recorder's timer spans. Events are flushed per
+line — a crashed run keeps every event it emitted.
+
+The writer accepts anything :func:`json.dumps` handles plus numpy
+scalars (converted through ``.item()``); everything else falls back to
+``str``, so an event can never kill the run it is observing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from time import perf_counter
+from typing import Any, Dict, IO, Optional, Union
+
+__all__ = ["TraceWriter"]
+
+
+def _json_default(value: Any) -> Any:
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+class TraceWriter:
+    """Append structured events to a JSONL file (or any text stream)."""
+
+    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+        if isinstance(target, str):
+            self.path: Optional[str] = target
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self.path = getattr(target, "name", None)
+            self._handle = target
+            self._owns_handle = False
+        self._t0 = perf_counter()
+        self.opened_at = time.time()
+        self.records = 0
+        self.write("trace.open", wall_time=self.opened_at)
+
+    def write(self, event: str, **fields: Any) -> None:
+        """Append one event record; silently drops after :meth:`close`."""
+        if self._handle is None:
+            return
+        record: Dict[str, Any] = {"t": round(perf_counter() - self._t0, 6), "event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record, default=_json_default) + "\n")
+        self._handle.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        self.write("trace.close", records=self.records)
+        if self._owns_handle:
+            self._handle.close()
+        self._handle = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

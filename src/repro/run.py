@@ -45,8 +45,12 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.game import Game
+from repro.obs.log import get_logger
+from repro.obs.recorder import get_recorder
 
 __all__ = ["RunSpec", "run_many", "EXECUTORS"]
+
+logger = get_logger("run")
 
 #: Executor modes :func:`run_many` accepts.
 EXECUTORS = ("auto", "serial", "thread", "process", "vectorized")
@@ -139,25 +143,42 @@ def run_many(
     fallbacks = root.spawn(len(cells))
     roots = [cell._root(fallback) for cell, fallback in zip(cells, fallbacks)]
 
+    recorder = get_recorder()
+    observing = recorder.enabled
+    logger.debug("run_many: %d cell(s) via executor=%r", len(cells), executor)
     results: List[Optional[List[Any]]] = [None] * len(cells)
     vector_positions: List[int] = []
-    for pos, cell in enumerate(cells):
-        if cell.kind == "noisy":
-            results[pos] = _run_noisy_cell(cell, roots[pos], executor, max_workers)
-        elif executor == "vectorized" or (executor == "auto" and _is_vectorizable(cell)):
-            # Collect; all vectorizable cells share ONE population call.
-            vector_positions.append(pos)
-        else:
-            results[pos] = _run_trajectory_cell(cell, roots[pos], executor, max_workers)
-    if vector_positions:
-        for pos, cell_results in zip(
-            vector_positions,
-            _run_cells_vectorized(
-                [cells[p] for p in vector_positions],
-                [roots[p] for p in vector_positions],
-            ),
-        ):
-            results[pos] = cell_results
+    with recorder.timer("run_many"):
+        for pos, cell in enumerate(cells):
+            if cell.kind == "noisy":
+                route = executor
+                results[pos] = _run_noisy_cell(cell, roots[pos], executor, max_workers)
+            elif executor == "vectorized" or (executor == "auto" and _is_vectorizable(cell)):
+                # Collect; all vectorizable cells share ONE population call.
+                route = "vectorized"
+                vector_positions.append(pos)
+            else:
+                route = executor
+                results[pos] = _run_trajectory_cell(cell, roots[pos], executor, max_workers)
+            if observing:
+                recorder.count("run_many.cells." + route)
+                recorder.event(
+                    "run_many.cell",
+                    index=pos,
+                    kind=cell.kind,
+                    runs=cell.runs,
+                    route=route,
+                    label=cell.label,
+                )
+        if vector_positions:
+            for pos, cell_results in zip(
+                vector_positions,
+                _run_cells_vectorized(
+                    [cells[p] for p in vector_positions],
+                    [roots[p] for p in vector_positions],
+                ),
+            ):
+                results[pos] = cell_results
     return results  # type: ignore[return-value]
 
 
@@ -228,6 +249,13 @@ def _run_cells_vectorized(
         spans.append((len(all_jobs), len(all_jobs) + len(jobs)))
         kernels.append(kernel)
         all_jobs.extend(jobs)
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("run_many.vectorized_jobs", len(all_jobs))
+        recorder.event("run_many.pack", cells=len(cells), jobs=len(all_jobs))
+    logger.debug(
+        "run_many: packed %d cell(s) into one %d-job population", len(cells), len(all_jobs)
+    )
     outcomes = run_trajectory_population(all_jobs)
     results: List[List[Any]] = []
     for cell, (start, stop), kernel in zip(cells, spans, kernels):

@@ -19,6 +19,7 @@ from typing import Dict, Union
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
+from repro.obs.recorder import get_recorder
 from repro.stochastic.lottery import sample_block_wins
 from repro.util.rng import RngLike
 
@@ -61,6 +62,9 @@ def estimate_payoffs(
     """
     if rounds < 1:
         raise ValueError(f"rounds must be ≥ 1, got {rounds}")
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("stochastic.estimates")
     sample = sample_block_wins(game, config, rounds=rounds, seed=seed)
     estimates: Dict[Miner, PayoffEstimate] = {}
     for index, miner in enumerate(game.miners):

@@ -35,6 +35,7 @@ from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
 from repro.kernel.core import KernelGame
+from repro.obs.recorder import get_recorder
 from repro.util.rng import RngLike, make_rng
 
 #: Largest threshold bound the vectorized int64 path may draw against.
@@ -84,6 +85,9 @@ def sample_win_count(
         raise ValueError(f"need 0 < weight ≤ mass, got weight={weight}, mass={mass}")
     if rounds == 0:
         return 0
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("stochastic.budget_rounds", rounds)
     if mass <= _INT64_SAFE:
         draws = rng.integers(0, mass, size=rounds)
         return int(np.count_nonzero(draws < weight))
@@ -128,10 +132,12 @@ def sample_wins_state(
     if rounds == 0:
         return wins
     powers = kernel.powers
+    occupied = 0
     for j in range(kernel.n_coins):
         total = mass[j]
         if total == 0:
             continue
+        occupied += 1
         members = [i for i in range(kernel.n_miners) if assign[i] == j]
         if len(members) == 1:
             wins[members[0]] += rounds
@@ -154,6 +160,11 @@ def sample_wins_state(
                     if r < threshold:
                         wins[members[position]] += 1
                         break
+    recorder = get_recorder()
+    if recorder.enabled:
+        # Every occupied coin finds one block per round.
+        recorder.count("stochastic.races", rounds * occupied)
+        recorder.count("stochastic.lottery_rounds", rounds)
     return wins
 
 

@@ -43,6 +43,7 @@ from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.kernel.batch import PooledRunner
 from repro.kernel.engine import KernelView
+from repro.obs.recorder import get_recorder
 from repro.stochastic.estimator import SampleBudget, as_budget
 from repro.stochastic.lottery import sample_win_count
 from repro.util.rng import RngLike, make_rng
@@ -193,7 +194,7 @@ class NoisyLearningEngine:
             settled = quiet >= patience
 
         coin_names = kernel.coin_names
-        return NoisyRunResult(
+        result = NoisyRunResult(
             run_index=run_index,
             final_coins=tuple(coin_names[j] for j in assign),
             activations=activations,
@@ -202,6 +203,16 @@ class NoisyLearningEngine:
             reached_equilibrium=view.is_stable(),
             rounds_sampled=rounds_sampled,
         )
+        recorder = get_recorder()
+        if recorder.enabled:
+            # Totals once per run, same contract as the trajectory engine.
+            recorder.count("noisy.runs")
+            recorder.count("noisy.activations", activations)
+            recorder.count("noisy.moves", moves)
+            recorder.count("noisy.rounds_sampled", rounds_sampled)
+            if settled:
+                recorder.count("noisy.settled")
+        return result
 
 
 def run_noisy_population(
@@ -309,6 +320,15 @@ def run_noisy_population(
 
     stable = stable_mask(kernel, assign)
     coin_names = kernel.coin_names
+    recorder = get_recorder()
+    if recorder.enabled:
+        # Same totals the scalar noisy loop emits per run, so counter
+        # sums agree across executors.
+        recorder.count("noisy.runs", reps)
+        recorder.count("noisy.activations", int(activations.sum()))
+        recorder.count("noisy.moves", int(moves.sum()))
+        recorder.count("noisy.rounds_sampled", int(rounds_sampled.sum()))
+        recorder.count("noisy.settled", int(np.count_nonzero(settled)))
     return [
         NoisyRunResult(
             run_index=r,
