@@ -45,6 +45,12 @@ answers every evaluation query. The ``backend`` knob picks the view:
     :class:`repro.learning.ExactView` — the original Fraction
     arithmetic. Kept for audits; no strategy *needs* it anymore.
 
+``backend="class"``
+    :class:`repro.kernel.ClassView` — the kernel view plus
+    per-(power, allowed-set)-class memoization of better-response
+    scans. Decision-identical to ``"fast"``; pays off when many miners
+    are interchangeable.
+
 To write a custom strategy, subclass
 :class:`~repro.learning.policies.BetterResponsePolicy` and override
 ``choose_view(self, view, miner, rng)`` (or
@@ -75,6 +81,23 @@ the implementation substrate, and the experiment runners' ``workers=``
 knob is a deprecated spelling of ``executor="process"``. Measured:
 a 1000-trajectory E2-style population (100×10) runs ~12× faster
 vectorized than multi-process on one core.
+
+Population-compressed dynamics
+~~~~~~~~~~~~~~~~~~~~~~~~~~~~~~
+When miners are interchangeable — equal kernel-scaled power *and*
+equal allowed-coin set — the per-miner representation is pure
+redundancy. :class:`repro.kernel.ClassGame` stores a configuration as
+an integer *count matrix* (miners per class × coin) and
+:func:`repro.kernel.run_class_better_response` runs exact
+better-response dynamics over counts, moving whole chunks of
+interchangeable miners per macro step with a closed-form maximal run
+length. Populations of millions converge exactly in milliseconds on
+one core; ``run_many`` routes ``RunSpec(kind="classes")`` cells
+through it, and build one ``from_spec([(power, allowed, count), …])``
+without ever materializing miners. Stable count profiles
+orbit-expand to bit-for-bit the per-miner equilibrium sets
+(``tests/test_classes.py`` asserts this against
+:class:`~repro.kernel.space.ConfigSpace` on hundreds of games).
 
 Exact enumeration
 ~~~~~~~~~~~~~~~~~
@@ -149,8 +172,10 @@ Subpackages
     strategy-view implementation behind ``backend="fast"``, the
     :class:`~repro.kernel.space.ConfigSpace` enumeration engine behind
     ``backend="space"``, the tensor population kernel
-    (:mod:`repro.kernel.tensor`) behind ``executor="vectorized"``, and
-    the :class:`~repro.kernel.batch.BatchRunner` pool substrate.
+    (:mod:`repro.kernel.tensor`) behind ``executor="vectorized"``, the
+    population-compressed class kernel (:mod:`repro.kernel.classes`)
+    behind ``kind="classes"`` / ``backend="class"``, and the
+    :class:`~repro.kernel.batch.BatchRunner` pool substrate.
 ``repro.learning``
     The :class:`~repro.learning.view.GameView` strategy-view protocol,
     better-response policies × activation schedulers, and the single
@@ -190,6 +215,7 @@ Module layer map (``repro.run`` sits on top)::
 
     repro.run (RunSpec / run_many)          ← the batch front door
       ├─ repro.kernel.tensor                ← vectorized populations
+      ├─ repro.kernel.classes               ← population-compressed counts
       ├─ repro.kernel.batch                 ← pooled/serial trajectories
       └─ repro.stochastic.noisy_engine      ← noisy replication batches
     repro.obs (Recorder / traces / manifests) ← every layer emits into it
@@ -225,7 +251,17 @@ from repro.exceptions import (
     RewardDesignError,
     SimulationError,
 )
-from repro.kernel import BatchRunner, KernelGame, TrajectorySummary, run_trajectory_batch
+from repro.kernel import (
+    BatchRunner,
+    ClassGame,
+    ClassRunResult,
+    ClassView,
+    KernelGame,
+    TrajectorySummary,
+    run_class_better_response,
+    run_class_simultaneous,
+    run_trajectory_batch,
+)
 from repro.learning import (
     BestResponsePolicy,
     LearningEngine,
@@ -279,8 +315,13 @@ __all__ = [
     "RewardDesignError",
     "SimulationError",
     "BatchRunner",
+    "ClassGame",
+    "ClassRunResult",
+    "ClassView",
     "KernelGame",
     "TrajectorySummary",
+    "run_class_better_response",
+    "run_class_simultaneous",
     "run_trajectory_batch",
     "BestResponsePolicy",
     "LearningEngine",

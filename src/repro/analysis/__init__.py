@@ -12,6 +12,11 @@ from repro.analysis.basins import (
     basin_profile,
     expected_payoff_from_luck,
 )
+from repro.analysis.classes import (
+    ClassBasinProfile,
+    class_basin_profile,
+    measure_class_convergence,
+)
 from repro.analysis.convergence import (
     ConvergenceStats,
     convergence_sweep,
@@ -65,6 +70,9 @@ __all__ = [
     "basin_by_policy",
     "basin_profile",
     "expected_payoff_from_luck",
+    "ClassBasinProfile",
+    "class_basin_profile",
+    "measure_class_convergence",
     "ConvergenceStats",
     "convergence_sweep",
     "measure_convergence",

@@ -24,6 +24,11 @@ Global flags (before the subcommand): ``-v``/``-q`` raise/lower the
     print the equilibrium with payoffs and a basin profile.
     ``--noisy`` additionally runs the sample-based learner from the
     same start and reports whether it found an exact equilibrium.
+``classes [--miners N] [--coins K] [--tiers T] [--seed N] [--restricted]``
+    Population-compressed walkthrough: build a hardware-tier class game
+    (default one million miners in four tiers), converge the exact
+    count-level stepper, and print equilibrium hashrate shares and
+    per-tier payoffs.
 ``migrate [--seed N]``
     Replay the Figure 1 BTC/BCH episode and print sparklines.
 """
@@ -60,7 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fast", action="store_true", help="shrunken workload")
     run.add_argument(
         "--backend",
-        choices=("fast", "exact"),
+        choices=("fast", "exact", "class"),
         default=None,
         help="numeric backend for runners that accept one (identical results)",
     )
@@ -98,7 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument(
         "--backend",
-        choices=("fast", "exact"),
+        choices=("fast", "exact", "class"),
         default="fast",
         help="learning-loop arithmetic (identical trajectories)",
     )
@@ -124,6 +129,19 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="lottery rounds per estimate for --noisy (default 64)",
+    )
+
+    classes = subparsers.add_parser(
+        "classes", help="population-compressed walkthrough (millions of miners)"
+    )
+    classes.add_argument("--miners", type=int, default=1_000_000)
+    classes.add_argument("--coins", type=int, default=4)
+    classes.add_argument("--tiers", type=int, default=4)
+    classes.add_argument("--seed", type=int, default=0)
+    classes.add_argument(
+        "--restricted",
+        action="store_true",
+        help="restrict higher hardware tiers to later coins",
     )
 
     migrate = subparsers.add_parser("migrate", help="Figure 1 sparkline replay")
@@ -261,6 +279,58 @@ def _cmd_demo(
     return 0
 
 
+def _cmd_classes(
+    miners: int,
+    coins: int,
+    tiers: int,
+    seed: int,
+    restricted: bool,
+    out,
+) -> int:
+    from time import perf_counter
+
+    from repro.kernel.classes import ClassGame, run_class_better_response
+
+    if miners < tiers or tiers < 1 or coins < 1:
+        out.write("need at least one coin and one miner per tier\n")
+        return 2
+    # A hardware-tier pyramid: each tier 5x the power and roughly a
+    # quarter the population of the one below it.
+    weights = [4 ** (tiers - 1 - k) for k in range(tiers)]
+    total_weight = sum(weights)
+    populations = [max(1, miners * w // total_weight) for w in weights]
+    populations[0] += miners - sum(populations)
+    spec = []
+    for k in range(tiers):
+        allowed = tuple(range(min(k, coins - 1), coins)) if restricted else None
+        spec.append((5**k, allowed, populations[k]))
+    rewards = [2 * coins - j for j in range(coins)]
+    cgame = ClassGame.from_spec(spec, rewards)
+    out.write(f"{cgame} — compression {cgame.compression:,.0f}x\n")
+    started = perf_counter()
+    counts = cgame.random_counts(seed=seed)
+    trajectory = run_class_better_response(
+        cgame, counts, seed=seed + 1, chunk=True, record="summary"
+    )
+    wall = perf_counter() - started
+    out.write(
+        f"converged={trajectory.converged} in {trajectory.steps} macro steps "
+        f"({trajectory.moved:,} miner moves) — {wall:.3f}s\n"
+    )
+    mass = cgame.mass_of(trajectory.final)
+    total_mass = sum(mass)
+    out.write("equilibrium hashrate shares:\n")
+    for j, name in enumerate(cgame.coin_names):
+        out.write(f"  {name}: {mass[j] / total_mass:.3f}\n")
+    out.write("per-miner payoffs by tier (occupied coins):\n")
+    for k, payoffs in enumerate(cgame.class_payoffs(trajectory.final)):
+        rendered = ", ".join(
+            f"{coin}={float(value):.6f}" for coin, value in sorted(payoffs.items())
+        )
+        out.write(f"  {cgame.class_names[k]} (power {5**k}): {rendered}\n")
+    return 0
+
+
 def _cmd_migrate(seed: int, out) -> int:
     from repro.market.scenario import btc_bch_scenario
     from repro.util.sparkline import labeled_sparkline
@@ -302,6 +372,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             args.miners, args.coins, args.seed, out,
             backend=args.backend, executor=args.executor, workers=args.workers,
             noisy=args.noisy, budget=args.budget,
+        )
+    if args.command == "classes":
+        return _cmd_classes(
+            args.miners, args.coins, args.tiers, args.seed, args.restricted, out
         )
     if args.command == "migrate":
         return _cmd_migrate(args.seed, out)

@@ -20,6 +20,17 @@ The kernel is the performance seam of the library:
   successor arrays for the Theorem 1 DAG analyses — the backbone of
   ``enumerate_equilibria``, ``analyze_improvement_dag`` and the
   Proposition 1 refuter at ``backend="space"`` (their default).
+* :mod:`repro.kernel.classes` compresses interchangeable miners —
+  equal kernel-scaled power and equal allowed-coin set — into
+  per-class *counts*: :class:`~repro.kernel.classes.ClassGame` holds a
+  configuration as an integer count matrix,
+  :func:`~repro.kernel.classes.run_class_better_response` moves whole
+  chunks of a class per macro step with a closed-form maximal run
+  length (millions of miners converge exactly in milliseconds), and
+  :class:`~repro.kernel.classes.ClassView` is the drop-in
+  ``backend="class"`` view with per-class scan memoization. Stable
+  count profiles orbit-expand bit-for-bit to the per-miner equilibrium
+  sets of :class:`ConfigSpace`.
 * :class:`~repro.kernel.batch.BatchRunner` fans independent
   trajectories (seeds × schedulers × policies) out over
   :mod:`concurrent.futures` workers — or hands them whole to the tensor
@@ -45,6 +56,15 @@ from repro.kernel.batch import (
     build_vector_jobs,
     run_trajectory_batch,
 )
+from repro.kernel.classes import (
+    ClassGame,
+    ClassRunResult,
+    ClassSimultaneousResult,
+    ClassTrajectory,
+    ClassView,
+    run_class_better_response,
+    run_class_simultaneous,
+)
 from repro.kernel.core import KernelGame
 from repro.kernel.engine import KernelView
 from repro.kernel.space import ConfigSpace, DagReport
@@ -59,6 +79,11 @@ from repro.kernel.tensor import (
 
 __all__ = [
     "BatchRunner",
+    "ClassGame",
+    "ClassRunResult",
+    "ClassSimultaneousResult",
+    "ClassTrajectory",
+    "ClassView",
     "ConfigSpace",
     "DagReport",
     "KernelGame",
@@ -68,6 +93,8 @@ __all__ = [
     "TrajectorySummary",
     "build_vector_jobs",
     "kernel_lane",
+    "run_class_better_response",
+    "run_class_simultaneous",
     "run_simultaneous_population",
     "run_trajectory_batch",
     "run_trajectory_population",

@@ -323,8 +323,8 @@ class BatchRunner(PooledRunner):
     Parameters
     ----------
     backend:
-        Numeric backend handed to every worker's engine (``"fast"`` or
-        ``"exact"``).
+        Numeric backend handed to every worker's engine (``"fast"``,
+        ``"exact"`` or ``"class"``).
     executor:
         ``"serial"``, ``"thread"``, ``"process"``, ``"vectorized"``
         (the tensor population kernel of :mod:`repro.kernel.tensor`;
@@ -352,8 +352,10 @@ class BatchRunner(PooledRunner):
 
     def __post_init__(self) -> None:
         self._init_pool()
-        if self.backend not in ("fast", "exact"):
-            raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
+        if self.backend not in ("fast", "exact", "class"):
+            raise ValueError(
+                f"backend must be 'fast', 'exact' or 'class', got {self.backend!r}"
+            )
         self._validate_pool_args()
 
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from math import comb, factorial
 from typing import (
     Dict,
@@ -94,6 +95,33 @@ def _distinct_permutations(values: Sequence[int]) -> Iterator[Tuple[int, ...]]:
                 counts[key] += 1
 
     yield from rec()
+
+
+@lru_cache(maxsize=1024)
+def _block_choice_table(
+    size: int, alphabet: Tuple[int, ...]
+) -> Tuple[Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...], int], ...]:
+    """Choice table for one symmetry block: every non-decreasing
+    coin-index tuple of length *size* drawn from *alphabet*, its
+    per-coin counts and its orbit multiplicity (the multinomial
+    coefficient).
+
+    The table depends only on (block size, alphabet) — not on which
+    miners form the block or which game owns it — so it is cached at
+    module level and shared across every :class:`ConfigSpace` instance:
+    repeated ``dag_report``/``stable_codes`` calls on freshly built
+    spaces over same-shape games skip the rebuild entirely.
+    """
+    block = []
+    for combo in itertools.combinations_with_replacement(alphabet, size):
+        counts: Dict[int, int] = {}
+        for j in combo:
+            counts[j] = counts.get(j, 0) + 1
+        mult = factorial(size)
+        for c in counts.values():
+            mult //= factorial(c)
+        block.append((combo, tuple(sorted(counts.items())), mult))
+    return tuple(block)
 
 
 @dataclass(frozen=True)
@@ -208,7 +236,7 @@ class ConfigSpace:
         self.has_symmetry: bool = any(len(indices) > 1 for indices, _, _ in self._blocks)
         self.symmetry = symmetry and self.has_symmetry
         self._block_choices: Optional[
-            List[List[Tuple[Tuple[int, ...], List[Tuple[int, int]], int]]]
+            List[Tuple[Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...], int], ...]]
         ] = None
 
     # ------------------------------------------------------------------
@@ -445,25 +473,20 @@ class ConfigSpace:
             total *= comb(len(indices) + m - 1, m - 1)
         return total
 
-    def _choices(self) -> List[List[Tuple[Tuple[int, ...], List[Tuple[int, int]], int]]]:
-        """Per block: every non-decreasing coin-index tuple drawn from
-        the block's alphabet, its per-coin counts and its orbit
-        multiplicity (the multinomial coefficient)."""
+    def _choices(
+        self,
+    ) -> List[Tuple[Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...], int], ...]]:
+        """Per block: the :func:`_block_choice_table` for (size, alphabet).
+
+        Tables are keyed on (block size, alphabet) in a module-level
+        cache shared across instances; this method only assembles the
+        per-block list once per space.
+        """
         if self._block_choices is None:
-            choices = []
-            for indices, _, alphabet in self._blocks:
-                size = len(indices)
-                block = []
-                for combo in itertools.combinations_with_replacement(alphabet, size):
-                    counts: Dict[int, int] = {}
-                    for j in combo:
-                        counts[j] = counts.get(j, 0) + 1
-                    mult = factorial(size)
-                    for c in counts.values():
-                        mult //= factorial(c)
-                    block.append((combo, sorted(counts.items()), mult))
-                choices.append(block)
-            self._block_choices = choices
+            self._block_choices = [
+                _block_choice_table(len(indices), alphabet)
+                for indices, _, alphabet in self._blocks
+            ]
         return self._block_choices
 
     def iter_canonical(self) -> Iterator[Tuple[List[int], List[int], int]]:

@@ -187,10 +187,11 @@ class LearningEngine:
         only, no per-step :class:`~repro.learning.trajectory.Step`
         records.
     backend:
-        ``"fast"`` (integer kernel view, default) or ``"exact"``
-        (Fraction view). The two produce identical trajectories for
-        every policy/scheduler — including custom subclasses; see
-        the module docstring.
+        ``"fast"`` (integer kernel view, default), ``"exact"``
+        (Fraction view) or ``"class"`` (population-compressed view
+        with per-(power, alphabet)-class scan memoization). All three
+        produce identical trajectories for every policy/scheduler —
+        including custom subclasses; see the module docstring.
     """
 
     policy: Optional[BetterResponsePolicy] = None
@@ -208,8 +209,10 @@ class LearningEngine:
             self.scheduler = UniformRandomScheduler()
         if self.max_steps < 0:
             raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
-        if self.backend not in ("fast", "exact"):
-            raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
+        if self.backend not in ("fast", "exact", "class"):
+            raise ValueError(
+                f"backend must be 'fast', 'exact' or 'class', got {self.backend!r}"
+            )
         if self.record is not None and self.record not in RECORD_MODES:
             raise ValueError(f"record must be one of {RECORD_MODES}, got {self.record!r}")
 

@@ -46,7 +46,7 @@ from repro.core.miner import Miner
 from repro.core.restricted import normalize_mask
 
 #: The backend strings :func:`make_view` (and every engine) accepts.
-BACKENDS = ("fast", "exact")
+BACKENDS = ("fast", "exact", "class")
 
 
 class GameView(abc.ABC):
@@ -287,17 +287,26 @@ def make_view(
     backend: str = "fast",
     allowed: Optional[Mapping[Miner, Sequence[Coin]]] = None,
 ) -> GameView:
-    """The view for *backend*: ``"fast"`` → KernelView, ``"exact"`` → ExactView.
+    """The view for *backend*: ``"fast"`` → KernelView, ``"exact"`` →
+    ExactView, ``"class"`` → the population-compressed
+    :class:`~repro.kernel.classes.ClassView` (identical decisions, scans
+    memoized per (power, alphabet) class).
 
     The single seam every engine goes through; *allowed* is the
     restricted-game mask (``None`` = unrestricted).
     """
     if backend not in BACKENDS:
-        raise ValueError(f"backend must be 'fast' or 'exact', got {backend!r}")
+        raise ValueError(
+            f"backend must be 'fast', 'exact' or 'class', got {backend!r}"
+        )
     if backend == "exact":
         return ExactView(game, initial, allowed=allowed)
     # Imported lazily so this module (which every strategy imports)
     # never pulls the kernel package in at import time.
+    if backend == "class":
+        from repro.kernel.classes import ClassView
+
+        return ClassView(game, initial, allowed=allowed)
     from repro.kernel.engine import KernelView
 
     return KernelView(game, initial, allowed=allowed)

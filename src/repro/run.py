@@ -68,7 +68,17 @@ class RunSpec:
     (optionally a configured
     :class:`~repro.stochastic.noisy_engine.NoisyLearningEngine` via
     ``engine``) and yield
-    :class:`~repro.stochastic.noisy_engine.NoisyRunResult` records.
+    :class:`~repro.stochastic.noisy_engine.NoisyRunResult` records;
+    ``kind="classes"`` cells run the population-compressed class
+    stepper (:mod:`repro.kernel.classes`) from seeded multinomial
+    random starts and yield
+    :class:`~repro.kernel.classes.ClassRunResult` records — ``game``
+    may be a :class:`~repro.kernel.classes.ClassGame` directly (for
+    populations far beyond per-miner reach) or a per-miner game to
+    compress, ``policy``/``scheduler`` are the class-symmetric mode
+    *names* (strings), and the route is inherently vectorized: the
+    count matrix advances whole classes per step, so the executor knob
+    changes nothing.
 
     ``seed`` pins this cell's root seed explicitly; ``None`` (default)
     derives it from :func:`run_many`'s root, in cell order. ``allowed``
@@ -92,16 +102,25 @@ class RunSpec:
     def __post_init__(self) -> None:
         if self.runs < 1:
             raise ValueError(f"runs must be ≥ 1, got {self.runs}")
-        if self.kind not in ("trajectory", "noisy"):
+        if self.kind not in ("trajectory", "noisy", "classes"):
             raise ValueError(
-                f"kind must be 'trajectory' or 'noisy', got {self.kind!r}"
+                f"kind must be 'trajectory', 'noisy' or 'classes', got {self.kind!r}"
             )
-        if self.backend not in ("fast", "exact"):
-            raise ValueError(f"backend must be 'fast' or 'exact', got {self.backend!r}")
+        if self.backend not in ("fast", "exact", "class"):
+            raise ValueError(
+                f"backend must be 'fast', 'exact' or 'class', got {self.backend!r}"
+            )
         if self.kind == "noisy" and (self.policy is not None or self.scheduler is not None):
             raise ValueError("noisy cells take an engine, not a policy/scheduler")
-        if self.kind == "trajectory" and self.engine is not None:
-            raise ValueError("trajectory cells take a policy/scheduler, not an engine")
+        if self.kind in ("trajectory", "classes") and self.engine is not None:
+            raise ValueError(f"{self.kind} cells take a policy/scheduler, not an engine")
+        if self.kind == "classes":
+            for role, value in (("policy", self.policy), ("scheduler", self.scheduler)):
+                if value is not None and not isinstance(value, str):
+                    raise ValueError(
+                        f"classes cells take class-symmetric {role} *names* "
+                        f"(strings), got {value!r}"
+                    )
 
     def _root(self, fallback: np.random.SeedSequence) -> np.random.SeedSequence:
         if self.seed is None:
@@ -153,6 +172,11 @@ def run_many(
             if cell.kind == "noisy":
                 route = executor
                 results[pos] = _run_noisy_cell(cell, roots[pos], executor, max_workers)
+            elif cell.kind == "classes":
+                # Population-compressed: the count matrix IS the
+                # vectorization, so every executor takes this route.
+                route = "classes"
+                results[pos] = _run_classes_cell(cell, roots[pos])
             elif executor == "vectorized" or (executor == "auto" and _is_vectorizable(cell)):
                 # Collect; all vectorizable cells share ONE population call.
                 route = "vectorized"
@@ -201,6 +225,57 @@ def _run_trajectory_cell(
             seed=root,
             allowed=cell.allowed,
         )
+
+
+def _run_classes_cell(cell: RunSpec, root: np.random.SeedSequence) -> List[Any]:
+    from repro.kernel.classes import (
+        ClassGame,
+        ClassRunResult,
+        DEFAULT_MAX_STEPS,
+        run_class_better_response,
+    )
+
+    if isinstance(cell.game, ClassGame):
+        if cell.allowed is not None:
+            raise ValueError(
+                "classes cells over a ClassGame carry their mask in the "
+                "class alphabets; allowed= applies to per-miner games only"
+            )
+        cgame = cell.game
+    else:
+        cgame = ClassGame.from_game(cell.game, allowed=cell.allowed)
+    policy = cell.policy if cell.policy is not None else "random-improving"
+    scheduler = cell.scheduler if cell.scheduler is not None else "uniform"
+    max_steps = cell.max_steps if cell.max_steps is not None else DEFAULT_MAX_STEPS
+    streams = root.spawn(2 * cell.runs)
+    results: List[Any] = []
+    for index in range(cell.runs):
+        # The library-wide seeding convention: stream 2i draws run i's
+        # start, stream 2i+1 drives its stepper.
+        counts = cgame.random_counts(seed=np.random.default_rng(streams[2 * index]))
+        trajectory = run_class_better_response(
+            cgame,
+            counts,
+            policy=policy,
+            scheduler=scheduler,
+            seed=np.random.default_rng(streams[2 * index + 1]),
+            max_steps=max_steps,
+            chunk=True,
+            record="summary",
+            raise_on_budget=False,
+        )
+        results.append(
+            ClassRunResult(
+                run_index=index,
+                policy=policy,
+                scheduler=scheduler,
+                steps=trajectory.steps,
+                moved=trajectory.moved,
+                converged=trajectory.converged,
+                final=trajectory.final,
+            )
+        )
+    return results
 
 
 def _run_noisy_cell(

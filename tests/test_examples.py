@@ -34,4 +34,5 @@ def test_all_examples_present():
         "pow_substrate.py",
         "asymmetric_mining.py",
         "manipulation_planner.py",
+        "population_dynamics.py",
     } <= names

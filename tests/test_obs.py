@@ -266,6 +266,53 @@ class TestCounterAccounting:
             estimate_payoffs(game, config, rounds=8, seed=12)
         assert rec.counter("stochastic.estimates") == 1
 
+    def test_classes_counters_match_results(self):
+        from repro.kernel.classes import ClassGame
+
+        with observe(MetricsRecorder()) as rec:
+            cgame = ClassGame.from_spec(
+                [(1, None, 6_000), (4, (0, 1), 2_000)], rewards=[5, 3, 2]
+            )
+            results = run_many(
+                [RunSpec(game=cgame, runs=5, kind="classes", seed=31)]
+            )[0]
+        compress = next(e for e in rec.events if e["event"] == "classes.compress")
+        assert compress["miners"] == 8_000
+        assert compress["classes"] == 2
+        assert compress["ratio"] == 8_000 / 2
+        assert rec.counter("classes.compressions") == 1
+        assert rec.counter("classes.runs") == 5
+        assert rec.counter("classes.steps") == sum(r.steps for r in results)
+        assert rec.counter("classes.moves") == sum(r.moved for r in results)
+        # Each run scanned once per step plus the final stable scan.
+        assert rec.counter("classes.scans") == sum(r.steps for r in results) + 5
+        assert rec.counter("classes.converged") == sum(r.converged for r in results) == 5
+        assert rec.counter("run_many.cells.classes") == 1
+        events = [e for e in rec.events if e["event"] == "run_many.cell"]
+        assert [e["route"] for e in events] == ["classes"]
+
+    def test_classes_observability_consumes_no_rng_and_changes_nothing(self):
+        from repro.kernel.classes import ClassGame, run_class_better_response
+
+        cgame = ClassGame.from_spec(
+            [(1, None, 500), (3, None, 250)], rewards=[4, 3, 2]
+        )
+        start = cgame.random_counts(seed=41)
+
+        rng_plain = np.random.default_rng(42)
+        plain = run_class_better_response(cgame, start, seed=rng_plain, chunk=True)
+        rng_observed = np.random.default_rng(42)
+        with observe(MetricsRecorder()):
+            observed = run_class_better_response(
+                cgame, start, seed=rng_observed, chunk=True
+            )
+        assert observed.final == plain.final
+        assert observed.steps == plain.steps
+        assert observed.moved == plain.moved
+        # Instrumentation consumed no draw: the generators end in the
+        # exact same state, bit for bit.
+        assert rng_observed.bit_generator.state == rng_plain.bit_generator.state
+
     def test_pool_degradation_counter(self, monkeypatch):
         from repro.kernel.batch import PooledRunner
 
