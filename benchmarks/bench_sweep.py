@@ -1,0 +1,46 @@
+"""Sweep-fabric benchmarks: cold vs warm cache, shard merge cost.
+
+Part of the CI smoke set. The cold/warm assertion is the fabric's
+headline guarantee: re-opening a completed sweep with the same
+arguments answers every cell from the content-addressed cache without
+re-running any learning — and must therefore be at least an order of
+magnitude faster than computing the grid.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import e02_convergence
+from repro.sweep import merge_sweep, run_sweep
+
+
+def _grid():
+    # Big enough that the cold run dwarfs cache-lookup overhead, small
+    # enough for the smoke set (18 cells x 10 runs).
+    return e02_convergence.sweep_grid(
+        miner_counts=(10, 25, 50),
+        coin_counts=(2, 4),
+        runs_per_cell=10,
+        seed=11,
+    )
+
+
+def test_sweep_warm_cache_10x_faster_than_cold(benchmark, tmp_path):
+    out = str(tmp_path / "sweep")
+    cold = run_sweep(_grid(), out=out, seed=11)
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == len(cold.cells)
+
+    warm = run_once(benchmark, run_sweep, grid=_grid(), out=out, seed=11)
+    assert warm.cache_misses == 0
+    assert warm.cache_hits == len(cold.cells)
+    assert warm.report == cold.report
+    assert cold.wall_seconds >= 10 * warm.wall_seconds, (
+        f"warm cache not >=10x faster: cold {cold.wall_seconds:.4f}s vs "
+        f"warm {warm.wall_seconds:.4f}s"
+    )
+
+
+def test_sweep_merge_matches_in_process_report(benchmark, tmp_path):
+    out = str(tmp_path / "sweep")
+    ran = run_sweep(_grid(), out=out, seed=11)
+    merged = run_once(benchmark, merge_sweep, out=out)
+    assert merged == ran.report

@@ -29,14 +29,20 @@ from typing import Any, Dict, Optional, Tuple
 _STAMP_KEYS = ("repro_version", "python", "numpy")
 
 
-def _load(path: str) -> Tuple[Dict[str, float], Optional[Dict[str, Any]]]:
-    """benchmark fullname → mean seconds, plus the environment stamp."""
+def _load(path: str) -> Tuple[Dict[str, float], Optional[Dict[str, Any]], str]:
+    """benchmark fullname → mean value, the environment stamp, the units.
+
+    Accepts both pytest-benchmark artifacts (mean seconds) and
+    ``repro.sweep`` reports (mean steps; the report declares
+    ``"units": "steps"``) — both carry ``benchmarks[].fullname``,
+    ``benchmarks[].stats.mean`` and a ``repro_stamp``.
+    """
     with open(path) as handle:
         data = json.load(handle)
     means = {
         bench["fullname"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
     }
-    return means, data.get("repro_stamp")
+    return means, data.get("repro_stamp"), data.get("units", "seconds")
 
 
 def _check_stamps(
@@ -85,6 +91,12 @@ def _fmt_seconds(seconds: float) -> str:
     return f"{seconds:.2f}s"
 
 
+def _fmt_value(value: float, units: str) -> str:
+    if units == "seconds":
+        return _fmt_seconds(value)
+    return f"{value:.3f}"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline bench.json (e.g. from main)")
@@ -96,8 +108,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    old, old_stamp = _load(args.old)
-    new, new_stamp = _load(args.new)
+    old, old_stamp, old_units = _load(args.old)
+    new, new_stamp, new_units = _load(args.new)
+    if old_units != new_units:
+        print(
+            f"refusing: units differ between runs ({old_units!r} vs {new_units!r}); "
+            "a timing artifact cannot be diffed against a sweep report",
+            file=sys.stderr,
+        )
+        return 2
     if not _check_stamps(old_stamp, new_stamp, args.force):
         return 2
     shared = sorted(set(old) & set(new))
@@ -106,13 +125,14 @@ def main(argv=None) -> int:
         return 1
 
     name_width = max(len(name) for name in shared)
-    print(f"{'benchmark'.ljust(name_width)}  {'old':>10}  {'new':>10}  {'speedup':>8}")
+    ratio_head = "speedup" if old_units == "seconds" else "old/new"
+    print(f"{'benchmark'.ljust(name_width)}  {'old':>10}  {'new':>10}  {ratio_head:>8}")
     print(f"{'-' * name_width}  {'-' * 10}  {'-' * 10}  {'-' * 8}")
     for name in shared:
         ratio = old[name] / new[name] if new[name] else float("inf")
         print(
-            f"{name.ljust(name_width)}  {_fmt_seconds(old[name]):>10}  "
-            f"{_fmt_seconds(new[name]):>10}  {ratio:>7.2f}×"
+            f"{name.ljust(name_width)}  {_fmt_value(old[name], old_units):>10}  "
+            f"{_fmt_value(new[name], new_units):>10}  {ratio:>7.2f}×"
         )
     for label, names in (("only in old", set(old) - set(new)), ("only in new", set(new) - set(old))):
         for name in sorted(names):

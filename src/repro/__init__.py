@@ -273,6 +273,8 @@ from repro.learning import (
 from repro.manipulation import find_better_equilibrium_exhaustive, manipulation_roi
 from repro import obs
 from repro.run import EXECUTORS, RunSpec, run_many
+from repro.kernel.batch import CellStats
+from repro.sweep import SweepError, SweepGrid, labeled, merge_sweep, run_sweep
 from repro.stochastic import (
     NoisyBatchRunner,
     NoisyLearningEngine,
@@ -284,7 +286,7 @@ from repro.stochastic import (
     sample_block_wins,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Coin",
@@ -334,6 +336,12 @@ __all__ = [
     "EXECUTORS",
     "RunSpec",
     "run_many",
+    "CellStats",
+    "SweepError",
+    "SweepGrid",
+    "labeled",
+    "merge_sweep",
+    "run_sweep",
     "obs",
     "NoisyBatchRunner",
     "NoisyLearningEngine",

@@ -131,24 +131,26 @@ def measure_convergence(
         summaries = runner.run(
             game, runs=runs, policy=policy, scheduler=scheduler, seed=root_seed
         )
-    else:
-        from repro.run import RunSpec, run_many
+        return stats_from_steps([summary.steps for summary in summaries], monotone=runs)
+    # One-cell ephemeral sweep in streaming mode: the fabric resolves
+    # the seed (explicit ints pass through untouched, so numbers match
+    # the pre-fabric route exactly) and the workers fold step counts
+    # without materializing per-run summaries.
+    from repro.sweep import SweepGrid, labeled, run_sweep
 
-        summaries = run_many(
-            [
-                RunSpec(
-                    game=game,
-                    runs=runs,
-                    policy=policy,
-                    scheduler=scheduler,
-                    backend=backend,
-                    seed=root_seed,
-                )
-            ],
-            executor=executor,
-            max_workers=max_workers,
-        )[0]
-    return stats_from_steps([summary.steps for summary in summaries], monotone=runs)
+    grid = SweepGrid(
+        {"game": [labeled("game", game)]},
+        base=dict(
+            runs=runs,
+            policy=policy,
+            scheduler=scheduler,
+            backend=backend,
+            seed=root_seed,
+            stream=True,
+        ),
+    )
+    cell_stats = run_sweep(grid, executor=executor, max_workers=max_workers).in_order()[0]
+    return stats_from_steps(list(cell_stats.steps), monotone=runs)
 
 
 def convergence_sweep(

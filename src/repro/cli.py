@@ -13,7 +13,18 @@ Commands
     ``--executor process``). ``--metrics`` prints the observability
     summary table; ``--trace PATH`` writes a JSONL event trace plus a
     ``PATH.manifest.json`` run manifest (args, seed, versions, wall
-    time, counter totals).
+    time, counter totals). Existing trace/manifest files are never
+    clobbered unless ``--force`` is given.
+``sweep E2 [--out DIR] [--shard K/N] [--merge] [--seed N] [--fast] …``
+    Run an experiment's declarative grid through the sweep fabric
+    (:mod:`repro.sweep`): content-addressed caching under
+    ``DIR/cache/``, append-only shard manifests under ``DIR/shards/``,
+    and a deterministic ``bench.json``-compatible ``DIR/report.json``.
+    A killed sweep re-run with the same arguments resumes (completed
+    cells are cache hits). ``--shard K/N`` runs only shard K of an
+    N-way fingerprint partition (run each shard anywhere, then
+    ``--merge`` folds the shared cache into the report). Without
+    ``--out`` the sweep is ephemeral (no cache, no manifests).
 
 Global flags (before the subcommand): ``-v``/``-q`` raise/lower the
 ``repro.*`` logging level (repeatable).
@@ -92,6 +103,76 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSONL event trace to PATH plus PATH.manifest.json",
     )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing --trace file and its manifest",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run an experiment grid through the sweep fabric"
+    )
+    sweep.add_argument("experiment", choices=sorted(EXPERIMENTS, key=_experiment_key))
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--fast", action="store_true", help="shrunken workload")
+    sweep.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="sweep directory (cache, shard manifests, report.json); "
+        "omit for an ephemeral run",
+    )
+    sweep.add_argument(
+        "--shard",
+        metavar="K/N",
+        default=None,
+        help="run only shard K of an N-way partition (requires --out)",
+    )
+    sweep.add_argument(
+        "--merge",
+        action="store_true",
+        help="merge a completed sharded sweep's cache into report.json and exit",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("fast", "exact", "class"),
+        default=None,
+        help="numeric backend for grids that accept one (identical results)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process", "vectorized"),
+        default="auto",
+        help="batch mechanism (identical results)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="deprecated: use --executor process (0 = serial)",
+    )
+    sweep.add_argument(
+        "--wave",
+        type=int,
+        default=1,
+        help="cells committed to cache per batch (default 1: finest resume "
+        "granularity; 0 = all pending cells in one batch)",
+    )
+    sweep.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute every cell instead of loading completed ones from cache",
+    )
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="override the root-seed receipt check / --no-resume clobber refusal",
+    )
+    sweep.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters (incl. sweep.cache.*) and print the summary",
+    )
 
     run_all = subparsers.add_parser("all", help="run every experiment")
     run_all.add_argument("--seed", type=int, default=0)
@@ -169,6 +250,7 @@ def _cmd_run(
     workers: Optional[int] = None,
     metrics: bool = False,
     trace: Optional[str] = None,
+    force: bool = False,
 ) -> int:
     spec = EXPERIMENTS[name]
     params = dict(spec.fast_params) if fast else {}
@@ -196,7 +278,11 @@ def _cmd_run(
 
     from repro.obs import MetricsRecorder, RunManifest, TraceWriter, observe, report
 
-    writer = TraceWriter(trace) if trace is not None else None
+    try:
+        writer = TraceWriter(trace, force=force) if trace is not None else None
+    except FileExistsError as error:
+        out.write(f"error: {error}\n")
+        return 2
     recorder = MetricsRecorder(trace=writer)
     started = perf_counter()
     with observe(recorder):
@@ -207,7 +293,7 @@ def _cmd_run(
     if writer is not None:
         writer.close()
         manifest_path = f"{writer.path}.manifest.json"
-        RunManifest.from_recorder(
+        manifest = RunManifest.from_recorder(
             recorder,
             command=f"run {name}",
             args={
@@ -221,12 +307,111 @@ def _cmd_run(
             seed=seed,
             executor=executor if executor is not None else "auto",
             wall_seconds=wall,
-        ).write(manifest_path)
+        )
+        try:
+            manifest.write(manifest_path, force=force)
+        except FileExistsError as error:
+            out.write(f"error: {error}\n")
+            return 2
         out.write(f"trace: {writer.path} ({writer.records} records)\n")
         out.write(f"manifest: {manifest_path}\n")
     if metrics:
         out.write("\n" + report(recorder).render() + "\n")
     return 0
+
+
+def _cmd_sweep(
+    name: str,
+    seed: int,
+    fast: bool,
+    out,
+    directory: Optional[str] = None,
+    shard: Optional[str] = None,
+    merge: bool = False,
+    backend: Optional[str] = None,
+    executor: str = "auto",
+    workers: int = 0,
+    wave: int = 1,
+    resume: bool = True,
+    force: bool = False,
+    metrics: bool = False,
+) -> int:
+    import os
+
+    from repro.experiments.common import resolve_execution
+    from repro.sweep import SweepError, merge_sweep, run_sweep
+
+    spec = EXPERIMENTS[name]
+    if spec.sweep_grid is None:
+        sweepable = ", ".join(
+            n
+            for n in sorted(EXPERIMENTS, key=_experiment_key)
+            if EXPERIMENTS[n].sweep_grid is not None
+        )
+        out.write(f"{name} declares no sweep grid (sweepable: {sweepable})\n")
+        return 2
+    if merge:
+        if directory is None:
+            out.write("--merge requires --out DIR\n")
+            return 2
+        try:
+            report = merge_sweep(directory)
+        except SweepError as error:
+            out.write(f"error: {error}\n")
+            return 1
+        out.write(
+            f"merged {len(report['benchmarks'])} cell(s) -> "
+            f"{os.path.join(directory, 'report.json')}\n"
+        )
+        return 0
+    params = dict(spec.fast_params) if fast else {}
+    params["seed"] = seed
+    if backend is not None:
+        if spec.accepts_backend:
+            params["backend"] = backend
+        else:
+            out.write(f"note: {name} does not take --backend; ignoring\n")
+    grid = spec.sweep_grid(**params)
+    executor, max_workers = resolve_execution(executor=executor, workers=workers)
+
+    from repro.obs import MetricsRecorder, observe, report
+
+    recorder = MetricsRecorder()
+    try:
+        with observe(recorder) if metrics else _null_context():
+            result = run_sweep(
+                grid,
+                out=directory,
+                seed=seed,
+                executor=executor,
+                max_workers=max_workers,
+                shard=shard,
+                wave=None if wave == 0 else wave,
+                resume=resume,
+                force=force,
+            )
+    except SweepError as error:
+        out.write(f"error: {error}\n")
+        return 1
+    shard_note = f" (shard {result.shard[0]}/{result.shard[1]})" if result.shard else ""
+    out.write(
+        f"{name} sweep{shard_note}: {len(result.cells)} cell(s), "
+        f"{result.cache_hits} cached, {result.cache_misses} computed "
+        f"in {result.wall_seconds:.3f}s\n"
+    )
+    if result.report_path is not None:
+        out.write(f"report: {result.report_path}\n")
+    elif result.shard is not None:
+        out.write("run the remaining shards, then merge with --merge\n")
+    if metrics:
+        out.write("\n" + report(recorder).render() + "\n")
+    return 0
+
+
+def _null_context():
+    from contextlib import nullcontext
+
+    return nullcontext()
 
 
 def _cmd_demo(
@@ -359,7 +544,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_run(
             args.experiment, args.seed, args.fast, out,
             backend=args.backend, executor=args.executor, workers=args.workers,
-            metrics=args.metrics, trace=args.trace,
+            metrics=args.metrics, trace=args.trace, force=args.force,
+        )
+    if args.command == "sweep":
+        return _cmd_sweep(
+            args.experiment, args.seed, args.fast, out,
+            directory=args.out, shard=args.shard, merge=args.merge,
+            backend=args.backend, executor=args.executor, workers=args.workers,
+            wave=args.wave, resume=not args.no_resume, force=args.force,
+            metrics=args.metrics,
         )
     if args.command == "all":
         code = 0

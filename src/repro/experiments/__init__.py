@@ -12,7 +12,7 @@ signatures or parallel dicts.
 
 from dataclasses import dataclass, field
 from types import ModuleType
-from typing import Any, Callable, Dict, Mapping
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.experiments import (
     e01_migration,
@@ -50,6 +50,12 @@ class ExperimentSpec:
     accepts_backend: bool = False
     accepts_executor: bool = False
     accepts_workers: bool = False
+    #: The experiment's grid as a :class:`~repro.sweep.SweepGrid`
+    #: factory (``sweep_grid(**params)``), for experiments that route
+    #: through the sweep fabric — drives ``python -m repro sweep``
+    #: (sharding, caching, resumable manifests). ``None`` for
+    #: experiments without a declarative grid.
+    sweep_grid: Optional[Callable[..., Any]] = None
 
 
 def _spec(name: str, module: ModuleType) -> ExperimentSpec:
@@ -61,6 +67,7 @@ def _spec(name: str, module: ModuleType) -> ExperimentSpec:
         accepts_backend=getattr(module, "ACCEPTS_BACKEND", False),
         accepts_executor=getattr(module, "ACCEPTS_EXECUTOR", False),
         accepts_workers=getattr(module, "ACCEPTS_WORKERS", False),
+        sweep_grid=getattr(module, "sweep_grid", None),
     )
 
 

@@ -35,6 +35,58 @@ ACCEPTS_WORKERS = True
 ACCEPTS_EXECUTOR = True
 
 
+def _policies():
+    return (RandomImprovingPolicy(), BestResponsePolicy(), MinimalGainPolicy())
+
+
+def sweep_grid(
+    *,
+    miner_counts: Sequence[int] = (5, 10, 25, 50, 100),
+    coin_counts: Sequence[int] = (2, 5, 10),
+    runs_per_cell: int = 10,
+    power_distribution: str = "uniform",
+    seed: int = 0,
+    backend: str = "fast",
+):
+    """The E2 grid as a :class:`~repro.sweep.SweepGrid` (game × policy).
+
+    Per-cell seeds follow the exact draw order of the pre-fabric loop
+    (one game per (n, k) from its spawned rng, then one seed draw per
+    policy from the *same* rng), so running this grid — through
+    :func:`~repro.sweep.run_sweep`, sharded across hosts, or from
+    cache — reproduces the historical E2 numbers bit-for-bit. Cells
+    stream (:class:`~repro.kernel.batch.CellStats`): E2 reads step
+    counts only.
+    """
+    from repro.sweep import SweepGrid, labeled
+
+    policies = _policies()
+    cell_rngs = spawn_rngs(seed, len(miner_counts) * len(coin_counts))
+    games = []
+    seeds = {}
+    index = 0
+    for n in miner_counts:
+        for k in coin_counts:
+            rng = cell_rngs[index]
+            index += 1
+            game = random_game(n, k, power_distribution=power_distribution, seed=rng)
+            position = len(games)
+            games.append(labeled(f"{n}x{k}", game))
+            for policy in policies:
+                seeds[(position, policy.name)] = int(rng.integers(0, 2**31))
+    game_values = [entry.value for entry in games]
+
+    def override(values):
+        position = next(i for i, g in enumerate(game_values) if g is values["game"])
+        return {"seed": seeds[(position, values["policy"].name)]}
+
+    return SweepGrid(
+        {"game": games, "policy": list(policies)},
+        base={"runs": runs_per_cell, "backend": backend, "stream": True},
+        override=override,
+    )
+
+
 def run(
     *,
     miner_counts: Sequence[int] = (5, 10, 25, 50, 100),
@@ -48,53 +100,38 @@ def run(
 ) -> ExperimentResult:
     """The E2 sweep; every cell must converge in 100% of runs.
 
-    The whole grid is ONE :func:`repro.run_many` call — one
-    :class:`~repro.run.RunSpec` per (size, policy) cell, each with the
-    same per-cell seed the serial loop would draw — so ``executor=``
-    picks the mechanism (tensor-vectorized populations by default on
-    ``"auto"``) without changing a single number. ``workers=`` is the
+    The grid is declared by :func:`sweep_grid` and executed as one
+    ephemeral :func:`~repro.sweep.run_sweep` (all pending cells in one
+    :func:`repro.run_many` call, so ``executor="auto"`` still packs
+    the whole grid into one tensor population). Per-cell seeds match
+    the pre-fabric loop, so no number changes. ``workers=`` is the
     deprecated spelling of ``executor="process"``.
     """
-    from repro.run import RunSpec, run_many
+    from repro.sweep import run_sweep
 
     executor, max_workers = resolve_execution(executor=executor, workers=workers, stacklevel=3)
-    policies = (RandomImprovingPolicy(), BestResponsePolicy(), MinimalGainPolicy())
+    policies = _policies()
     table = Table(
         "E2 — convergence of better-response learning (Theorem 1)",
         ["n miners", "k coins", "policy", "mean steps", "p95 steps", "max steps", "converged"],
     )
-    cell_rngs = spawn_rngs(seed, len(miner_counts) * len(coin_counts))
-    cells = []
-    labels = []
-    cell = 0
-    for n in miner_counts:
-        for k in coin_counts:
-            rng = cell_rngs[cell]
-            cell += 1
-            game = random_game(n, k, power_distribution=power_distribution, seed=rng)
-            for policy in policies:
-                # The same per-measurement seed draw order the serial
-                # measure_convergence loop used, so results are stable
-                # across releases and executors.
-                cells.append(
-                    RunSpec(
-                        game=game,
-                        runs=runs_per_cell,
-                        policy=policy,
-                        backend=backend,
-                        seed=int(rng.integers(0, 2**31)),
-                        label=f"{n}x{k}:{policy.name}",
-                    )
-                )
-                labels.append((n, k, policy))
-    results = run_many(cells, executor=executor, max_workers=max_workers)
+    grid = sweep_grid(
+        miner_counts=miner_counts,
+        coin_counts=coin_counts,
+        runs_per_cell=runs_per_cell,
+        power_distribution=power_distribution,
+        seed=seed,
+        backend=backend,
+    )
+    sweep = run_sweep(grid, executor=executor, max_workers=max_workers)
+    labels = [
+        (n, k, policy) for n in miner_counts for k in coin_counts for policy in policies
+    ]
     total_runs = 0
     converged_runs = 0
     max_steps_seen = 0
-    for (n, k, policy), summaries in zip(labels, results):
-        stats = stats_from_steps(
-            [summary.steps for summary in summaries], monotone=len(summaries)
-        )
+    for (n, k, policy), cell_stats in zip(labels, sweep.in_order()):
+        stats = stats_from_steps(list(cell_stats.steps), monotone=cell_stats.runs)
         table.add_row(
             n,
             k,

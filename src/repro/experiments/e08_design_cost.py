@@ -14,6 +14,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro._numeric import to_fraction
 from repro.core.equilibrium import enumerate_equilibria
 from repro.core.factories import random_game
 from repro.design.mechanism import DynamicRewardDesign
@@ -73,7 +74,9 @@ def run(
         roi = manipulation_roi(game, best.miner, start, best.target, result.ledger)
 
         # Price the same boosts through the exchange-rate lever.
-        impact = PriceImpactModel(depth=Fraction(market_depth).limit_denominator(10**6))
+        # Exact conversion: a float depth enters via its dyadic
+        # expansion, never a rounded approximation.
+        impact = PriceImpactModel(depth=to_fraction(market_depth, name="market_depth"))
         exchange_cost = Fraction(0)
         for phase in result.ledger.phases:
             # One phase boosts at most one coin above baseline by

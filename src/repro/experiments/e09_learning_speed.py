@@ -43,6 +43,70 @@ ACCEPTS_WORKERS = True
 ACCEPTS_EXECUTOR = True
 
 
+def _policies():
+    return (
+        BestResponsePolicy(),
+        RandomImprovingPolicy(),
+        MinimalGainPolicy(),
+        MaxRpuPolicy(),
+        EpsilonGreedyPolicy(0.25),
+    )
+
+
+def _schedulers():
+    return (
+        UniformRandomScheduler(),
+        RoundRobinScheduler(),
+        LargestFirstScheduler(),
+        SmallestFirstScheduler(),
+    )
+
+
+def sweep_grid(
+    *,
+    miners: int = 20,
+    coins: int = 4,
+    runs: int = 10,
+    power_distribution: str = "pareto",
+    seed: int = 0,
+    backend: str = "fast",
+    mwu_rounds: int = 300,
+):
+    """The E9 grid as a :class:`~repro.sweep.SweepGrid` (policy × scheduler).
+
+    One fixed game, every (policy, scheduler) pair a streamed cell.
+    Per-cell seeds follow the exact draw order of the pre-fabric loop
+    (``spawn_rngs(seed, 4)``: stream 0 builds the game, stream 1 draws
+    one seed per pair in policy-major order), so the fabric reproduces
+    the historical E9 numbers bit-for-bit. ``mwu_rounds`` is accepted
+    for signature symmetry with :func:`run`; the multiplicative-weights
+    comparator is not a grid cell (it is a single sequential learner).
+    """
+    from repro.sweep import SweepGrid
+
+    del mwu_rounds  # not a grid axis; see docstring
+    rngs = spawn_rngs(seed, 4)
+    game = random_game(
+        miners, coins, power_distribution=power_distribution, seed=rngs[0]
+    )
+    policies = _policies()
+    schedulers = _schedulers()
+    seeds = {
+        (policy.name, scheduler.name): int(rngs[1].integers(0, 2**31))
+        for policy in policies
+        for scheduler in schedulers
+    }
+
+    def override(values):
+        return {"seed": seeds[(values["policy"].name, values["scheduler"].name)]}
+
+    return SweepGrid(
+        {"policy": list(policies), "scheduler": list(schedulers)},
+        base={"game": game, "runs": runs, "backend": backend, "stream": True},
+        override=override,
+    )
+
+
 def run(
     *,
     miners: int = 20,
@@ -57,63 +121,49 @@ def run(
 ) -> ExperimentResult:
     """Convergence speed by learning process on a fixed game family.
 
-    The whole policy × scheduler grid is ONE :func:`repro.run_many`
-    call (all cells share the game shape, so the vectorized executor
-    advances them in the same lockstep buckets); per-cell seeds follow
-    the exact draw order of the old serial loop, so numbers are
-    unchanged. ``workers=`` is the deprecated spelling of
-    ``executor="process"``.
+    The grid is declared by :func:`sweep_grid` and executed as one
+    ephemeral :func:`~repro.sweep.run_sweep` (all cells in one
+    :func:`repro.run_many` call, sharing the vectorized lockstep
+    buckets); per-cell seeds follow the exact draw order of the old
+    serial loop, so numbers are unchanged. ``workers=`` is the
+    deprecated spelling of ``executor="process"``.
     """
-    from repro.run import RunSpec, run_many
+    from repro.sweep import run_sweep
 
     executor, max_workers = resolve_execution(executor=executor, workers=workers, stacklevel=3)
     rngs = spawn_rngs(seed, 4)
     game = random_game(
         miners, coins, power_distribution=power_distribution, seed=rngs[0]
     )
-    policies = (
-        BestResponsePolicy(),
-        RandomImprovingPolicy(),
-        MinimalGainPolicy(),
-        MaxRpuPolicy(),
-        EpsilonGreedyPolicy(0.25),
-    )
-    schedulers = (
-        UniformRandomScheduler(),
-        RoundRobinScheduler(),
-        LargestFirstScheduler(),
-        SmallestFirstScheduler(),
-    )
     table = Table(
         "E9 — convergence speed by learning process",
         ["process", "mean steps", "median", "p95", "max"],
     )
-    cells = [
-        RunSpec(
-            game=game,
-            runs=runs,
-            policy=policy,
-            scheduler=scheduler,
-            backend=backend,
-            seed=int(rngs[1].integers(0, 2**31)),
-            label=f"{policy.name} × {scheduler.name}",
-        )
-        for policy in policies
-        for scheduler in schedulers
+    grid = sweep_grid(
+        miners=miners,
+        coins=coins,
+        runs=runs,
+        power_distribution=power_distribution,
+        seed=seed,
+        backend=backend,
+    )
+    sweep = run_sweep(grid, executor=executor, max_workers=max_workers)
+    labels = [
+        f"{policy.name} × {scheduler.name}"
+        for policy in _policies()
+        for scheduler in _schedulers()
     ]
     fastest = None
     slowest = None
-    for spec, summaries in zip(cells, run_many(cells, executor=executor, max_workers=max_workers)):
-        stats = stats_from_steps(
-            [summary.steps for summary in summaries], monotone=len(summaries)
-        )
+    for label, cell_stats in zip(labels, sweep.in_order()):
+        stats = stats_from_steps(list(cell_stats.steps), monotone=cell_stats.runs)
         table.add_row(
-            spec.label, stats.mean_steps, stats.median_steps, stats.p95_steps, stats.max_steps
+            label, stats.mean_steps, stats.median_steps, stats.p95_steps, stats.max_steps
         )
         if fastest is None or stats.mean_steps < fastest[1]:
-            fastest = (spec.label, stats.mean_steps)
+            fastest = (label, stats.mean_steps)
         if slowest is None or stats.mean_steps > slowest[1]:
-            slowest = (spec.label, stats.mean_steps)
+            slowest = (label, stats.mean_steps)
 
     # MWU comparator: rounds to a stable realized profile (if at all).
     learner = MultiplicativeWeightsLearner(step_size=0.3)

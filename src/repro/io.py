@@ -26,8 +26,10 @@ than stored, which keeps files small and the round trip exact.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from fractions import Fraction
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.coin import RewardFunction, make_coins
 from repro.core.configuration import Configuration
@@ -40,6 +42,45 @@ GAME_FORMAT = "game-of-coins/game"
 CONFIGURATION_FORMAT = "game-of-coins/configuration"
 TRAJECTORY_FORMAT = "game-of-coins/trajectory"
 _VERSION = 1
+
+
+def write_json_atomic(
+    payload: Any,
+    path: str,
+    *,
+    indent: Optional[int] = 2,
+    sort_keys: bool = True,
+    default: Optional[Callable[[Any], Any]] = None,
+) -> str:
+    """Write *payload* as JSON to *path* crash-safely and return *path*.
+
+    The document is serialized to a temporary file in the same
+    directory and renamed over *path* with :func:`os.replace`, so
+    readers only ever observe the old complete file or the new
+    complete file — never a truncated one. The rename is atomic on
+    POSIX and same-volume by construction; the temp file is fsynced
+    before the rename so a crash cannot publish an empty file.
+    """
+    target = os.path.abspath(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=os.path.dirname(target),
+        prefix=os.path.basename(target) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys, default=default)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _fraction_to_str(value: Fraction) -> str:
@@ -208,9 +249,8 @@ def trajectory_from_dict(payload: Dict[str, Any], game: Game) -> Trajectory:
 
 
 def save_game(game: Game, path: str) -> None:
-    """Write *game* to *path* as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(game_to_dict(game), handle, indent=2, sort_keys=True)
+    """Write *game* to *path* as JSON (atomically; see :func:`write_json_atomic`)."""
+    write_json_atomic(game_to_dict(game), path)
 
 
 def load_game(path: str) -> Game:
@@ -220,8 +260,7 @@ def load_game(path: str) -> Game:
 
 
 def save_configuration(config: Configuration, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(configuration_to_dict(config), handle, indent=2, sort_keys=True)
+    write_json_atomic(configuration_to_dict(config), path)
 
 
 def load_configuration(path: str, game: Game) -> Configuration:
@@ -230,9 +269,8 @@ def load_configuration(path: str, game: Game) -> Configuration:
 
 
 def save_trajectory(trajectory: Trajectory, path: str) -> None:
-    """Write *trajectory* to *path* as JSON (exact payoffs preserved)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(trajectory_to_dict(trajectory), handle, indent=2, sort_keys=True)
+    """Write *trajectory* to *path* as JSON (atomic write, exact payoffs preserved)."""
+    write_json_atomic(trajectory_to_dict(trajectory), path)
 
 
 def load_trajectory(path: str, game: Game) -> Trajectory:

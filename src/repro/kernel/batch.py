@@ -187,19 +187,105 @@ class TrajectorySummary:
         return game.configuration(self.final_coins)
 
 
-def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
+@dataclass(frozen=True)
+class CellStats:
+    """Streamed aggregate of one batch cell: counts and final states only.
+
+    The opt-in alternative to a list of per-run
+    :class:`TrajectorySummary` records (``RunSpec(stream=True)`` /
+    ``BatchRunner.run(stream=True)``): per-run step counts, the
+    converged tally and a final-state census, folded inside the worker,
+    so a grid cell ships one small picklable object across the pool
+    instead of ``runs`` records nobody reads individually. ``steps``
+    stays per-run (in run-index order) so downstream statistics —
+    mean/median/max, :func:`~repro.analysis.convergence.stats_from_steps`
+    — are exactly the values the summary list would have produced.
+    """
+
+    runs: int
+    policy_name: str
+    scheduler_name: str
+    #: Per-run step counts, in run-index order.
+    steps: Tuple[int, ...]
+    #: How many runs reached a stable configuration.
+    converged: int
+    #: Final-state census: ``((coin name per miner, ...), count)``
+    #: pairs, sorted for a canonical (hashable, serializable) order.
+    finals: Tuple[Tuple[Tuple[str, ...], int], ...]
+
+    @property
+    def mean_steps(self) -> float:
+        return sum(self.steps) / len(self.steps)
+
+    def final_counts(self) -> Dict[Tuple[str, ...], int]:
+        """The census as a dict: final coin tuple → number of runs."""
+        return dict(self.finals)
+
+    @classmethod
+    def from_summaries(cls, summaries: Sequence[TrajectorySummary]) -> "CellStats":
+        """Fold per-run summaries into the equivalent streamed aggregate."""
+        finals: Dict[Tuple[str, ...], int] = {}
+        for summary in summaries:
+            finals[summary.final_coins] = finals.get(summary.final_coins, 0) + 1
+        return cls(
+            runs=len(summaries),
+            policy_name=summaries[0].policy_name,
+            scheduler_name=summaries[0].scheduler_name,
+            steps=tuple(summary.steps for summary in summaries),
+            converged=sum(1 for summary in summaries if summary.converged),
+            finals=tuple(sorted(finals.items())),
+        )
+
+    @staticmethod
+    def merge(parts: Sequence["CellStats"]) -> "CellStats":
+        """Concatenate partial aggregates from ordered contiguous chunks."""
+        if len(parts) == 1:
+            return parts[0]
+        steps: List[int] = []
+        finals: Dict[Tuple[str, ...], int] = {}
+        runs = 0
+        converged = 0
+        for part in parts:
+            runs += part.runs
+            converged += part.converged
+            steps.extend(part.steps)
+            for key, count in part.finals:
+                finals[key] = finals.get(key, 0) + count
+        return CellStats(
+            runs=runs,
+            policy_name=parts[0].policy_name,
+            scheduler_name=parts[0].scheduler_name,
+            steps=tuple(steps),
+            converged=converged,
+            finals=tuple(sorted(finals.items())),
+        )
+
+
+def _run_chunk(payload: Tuple[Any, ...]) -> List[Any]:
     """Worker: run a contiguous chunk of trajectories for one game.
 
     Module-level (and importing lazily) so process pools can pickle it
     without pulling the engine into the kernel's import graph. Runs in
     ``record="summary"`` streaming mode: a summary keeps counts and the
     final state only, so no per-step history is allocated just to be
-    thrown away.
+    thrown away. With ``stream`` set the chunk folds even the per-run
+    records away and returns a one-element list holding a partial
+    :class:`CellStats` (merged across chunks by the caller).
     """
     from repro.core.factories import random_configuration, random_restricted_configuration
     from repro.learning.engine import LearningEngine
 
-    game, policy, scheduler, backend, max_steps, allowed, first_index, seed_pairs = payload
+    (
+        game,
+        policy,
+        scheduler,
+        backend,
+        max_steps,
+        allowed,
+        first_index,
+        seed_pairs,
+        stream,
+    ) = payload
     # Chunks may run concurrently on threads; stateful strategies (e.g.
     # RoundRobinScheduler's cursor) must not be shared across them.
     policy = copy.deepcopy(policy)
@@ -213,6 +299,9 @@ def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
         **engine_kwargs,
     )
     summaries: List[TrajectorySummary] = []
+    steps: List[int] = []
+    converged = 0
+    finals: Dict[Tuple[str, ...], int] = {}
     assert engine.policy is not None and engine.scheduler is not None
     for offset, (start_seed, run_seed) in enumerate(seed_pairs):
         if allowed is None:
@@ -225,16 +314,33 @@ def _run_chunk(payload: Tuple[Any, ...]) -> List[TrajectorySummary]:
             game, start, seed=np.random.default_rng(run_seed), allowed=allowed
         )
         final = trajectory.final
-        summaries.append(
-            TrajectorySummary(
-                run_index=first_index + offset,
+        final_coins = tuple(final.coin_of(miner).name for miner in game.miners)
+        if stream:
+            steps.append(trajectory.length)
+            converged += trajectory.converged
+            finals[final_coins] = finals.get(final_coins, 0) + 1
+        else:
+            summaries.append(
+                TrajectorySummary(
+                    run_index=first_index + offset,
+                    policy_name=engine.policy.name,
+                    scheduler_name=engine.scheduler.name,
+                    steps=trajectory.length,
+                    converged=trajectory.converged,
+                    final_coins=final_coins,
+                )
+            )
+    if stream:
+        return [
+            CellStats(
+                runs=len(seed_pairs),
                 policy_name=engine.policy.name,
                 scheduler_name=engine.scheduler.name,
-                steps=trajectory.length,
-                converged=trajectory.converged,
-                final_coins=tuple(final.coin_of(miner).name for miner in game.miners),
+                steps=tuple(steps),
+                converged=converged,
+                finals=tuple(sorted(finals.items())),
             )
-        )
+        ]
     return summaries
 
 
@@ -369,7 +475,8 @@ class BatchRunner(PooledRunner):
         scheduler=None,
         seed=None,
         allowed=None,
-    ) -> List[TrajectorySummary]:
+        stream: bool = False,
+    ) -> Any:
         """*runs* trajectories from random starts, in run-index order.
 
         Seeding matches :func:`repro.analysis.convergence.measure_convergence`:
@@ -379,13 +486,18 @@ class BatchRunner(PooledRunner):
         hands out per-cell). ``allowed`` restricts miners to coin
         subsets (a restricted game's mask); starts are then drawn
         mask-valid, identically across every executor mode.
+
+        With ``stream=True`` the per-run summaries are folded inside
+        the workers and one :class:`CellStats` aggregate is returned
+        instead of a list — same step counts, same seeding, less
+        allocation and pool transport.
         """
         if runs < 1:
             raise ValueError(f"runs must be ≥ 1, got {runs}")
         root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
         streams = root.spawn(2 * runs)
         seed_pairs = [(streams[2 * i], streams[2 * i + 1]) for i in range(runs)]
-        return self._execute(game, policy, scheduler, seed_pairs, allowed=allowed)
+        return self._execute(game, policy, scheduler, seed_pairs, allowed=allowed, stream=stream)
 
     def run_grid(
         self,
@@ -417,10 +529,12 @@ class BatchRunner(PooledRunner):
     # ------------------------------------------------------------------
 
     def _execute(
-        self, game, policy, scheduler, seed_pairs, allowed=None
-    ) -> List[TrajectorySummary]:
+        self, game, policy, scheduler, seed_pairs, allowed=None, stream: bool = False
+    ) -> Any:
         if self.executor == "vectorized":
-            return self._execute_vectorized(game, policy, scheduler, seed_pairs, allowed)
+            return self._execute_vectorized(
+                game, policy, scheduler, seed_pairs, allowed, stream=stream
+            )
 
         def make_chunks(chunk_size: int):
             # One payload per worker: ship the game once per chunk.
@@ -434,20 +548,35 @@ class BatchRunner(PooledRunner):
                     allowed,
                     start,
                     seed_pairs[start : start + chunk_size],
+                    stream,
                 )
                 for start in range(0, len(seed_pairs), chunk_size)
             ]
 
-        return self._execute_chunked(
+        flat = self._execute_chunked(
             _run_chunk,
-            (game, policy, scheduler, self.backend, self.max_steps, allowed, 0, seed_pairs),
+            (
+                game,
+                policy,
+                scheduler,
+                self.backend,
+                self.max_steps,
+                allowed,
+                0,
+                seed_pairs,
+                stream,
+            ),
             make_chunks,
             len(seed_pairs),
         )
+        if stream:
+            # One partial CellStats per contiguous chunk, in chunk order.
+            return CellStats.merge(flat)
+        return flat
 
     def _execute_vectorized(
-        self, game, policy, scheduler, seed_pairs, allowed=None
-    ) -> List[TrajectorySummary]:
+        self, game, policy, scheduler, seed_pairs, allowed=None, stream: bool = False
+    ) -> Any:
         from repro.kernel.tensor import run_trajectory_population
         from repro.learning.policies import RandomImprovingPolicy
         from repro.learning.schedulers import UniformRandomScheduler
@@ -467,6 +596,8 @@ class BatchRunner(PooledRunner):
             scheduler if scheduler is not None else UniformRandomScheduler()
         ).name
         coin_names = kernel.coin_names
+        if stream:
+            return fold_outcomes(outcomes, coin_names, policy_name, scheduler_name)
         return [
             TrajectorySummary(
                 run_index=index,
@@ -478,6 +609,31 @@ class BatchRunner(PooledRunner):
             )
             for index, outcome in enumerate(outcomes)
         ]
+
+
+def fold_outcomes(
+    outcomes: Sequence[Any],
+    coin_names: Sequence[str],
+    policy_name: str,
+    scheduler_name: str,
+) -> CellStats:
+    """Fold tensor-kernel trajectory outcomes into a :class:`CellStats`."""
+    steps: List[int] = []
+    converged = 0
+    finals: Dict[Tuple[str, ...], int] = {}
+    for outcome in outcomes:
+        steps.append(outcome.steps)
+        converged += bool(outcome.converged)
+        key = tuple(coin_names[j] for j in outcome.final_assign)
+        finals[key] = finals.get(key, 0) + 1
+    return CellStats(
+        runs=len(steps),
+        policy_name=policy_name,
+        scheduler_name=scheduler_name,
+        steps=tuple(steps),
+        converged=converged,
+        finals=tuple(sorted(finals.items())),
+    )
 
 
 def run_trajectory_batch(

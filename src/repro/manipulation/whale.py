@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional
 
+from repro._numeric import Number, to_fraction
 from repro.core.configuration import Configuration
 from repro.core.game import Game
 from repro.core.miner import Miner
@@ -37,20 +38,23 @@ class WhaleBudget:
 def budget_from_ledger(
     ledger: CostLedger,
     *,
-    rounds_per_block: float = 1.0,
+    rounds_per_block: Number = 1,
 ) -> WhaleBudget:
     """Convert a mechanism cost ledger to a whale fee budget.
 
     ``rounds_per_block`` scales abstract learning rounds to blocks: if
     miners re-evaluate faster than once per block, a round is cheaper
-    than a block's worth of fees.
+    than a block's worth of fees. The scale converts exactly — ints and
+    Fractions pass through, floats via their dyadic expansion — so the
+    fee budget stays an exact rational.
     """
-    if rounds_per_block <= 0:
+    scale = to_fraction(rounds_per_block, name="rounds_per_block")
+    if scale <= 0:
         raise SimulationError("rounds_per_block must be positive")
     total = ledger.total()
     return WhaleBudget(
         total_excess=total,
-        fee_spend=total * Fraction(rounds_per_block).limit_denominator(10**6),
+        fee_spend=total * scale,
         rounds=ledger.total_rounds(),
     )
 

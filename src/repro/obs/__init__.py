@@ -34,6 +34,9 @@ What the built-in hook points count (all names are stable API):
 ``stochastic.races``           lottery blocks raced
 ``stochastic.budget_rounds``   per-decision sample-budget draws
 ``noisy.activations/moves``    noisy-learner dynamics
+``sweep.runs``                 ``run_sweep`` invocations
+``sweep.cells``                cells this invocation was responsible for
+``sweep.cache.<hits|misses|writes>``  content-addressed result cache
 =========================  ============================================
 """
 

@@ -16,7 +16,6 @@ cross-version comparisons.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import socket
@@ -113,11 +112,24 @@ class RunManifest:
             "phases": self.phases,
         }
 
-    def write(self, path: str) -> str:
-        """Write the manifest as pretty JSON; returns *path*."""
+    def write(self, path: str, *, force: bool = True) -> str:
+        """Write the manifest as pretty JSON crash-safely; returns *path*.
+
+        The document lands via an atomic rename (temp file +
+        ``os.replace``), so an interrupted write can never leave a
+        truncated manifest. With ``force=False`` an existing file is
+        refused instead of silently replaced — the CLI uses this so a
+        rerun cannot clobber an interrupted run's receipt without
+        ``--force``.
+        """
+        from repro.io import write_json_atomic
         from repro.obs.trace import _json_default
 
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, default=_json_default)
-            handle.write("\n")
-        return path
+        if not force and os.path.exists(path):
+            raise FileExistsError(
+                f"manifest {path!r} already exists (from an interrupted run?); "
+                "pass force=True (CLI: --force) to overwrite"
+            )
+        return write_json_atomic(
+            self.to_dict(), path, sort_keys=False, default=_json_default
+        )

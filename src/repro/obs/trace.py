@@ -14,6 +14,7 @@ scalars (converted through ``.item()``); everything else falls back to
 from __future__ import annotations
 
 import json
+import os
 import time
 from time import perf_counter
 from typing import Any, Dict, IO, Optional, Union
@@ -31,8 +32,13 @@ def _json_default(value: Any) -> Any:
 class TraceWriter:
     """Append structured events to a JSONL file (or any text stream)."""
 
-    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+    def __init__(self, target: Union[str, "IO[str]"], *, force: bool = False) -> None:
         if isinstance(target, str):
+            if not force and os.path.exists(target):
+                raise FileExistsError(
+                    f"trace file {target!r} already exists (from an interrupted "
+                    "run?); pass force=True (CLI: --force) to overwrite"
+                )
             self.path: Optional[str] = target
             self._handle: IO[str] = open(target, "w", encoding="utf-8")
             self._owns_handle = True

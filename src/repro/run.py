@@ -85,6 +85,14 @@ class RunSpec:
     restricts miners to coin subsets (a restricted game's mask);
     ``label`` is carried through untouched for callers that need to
     re-identify cells in the flat result list.
+
+    ``stream=True`` (trajectory cells only) opts into the streaming
+    aggregate: the cell's result is a single
+    :class:`~repro.kernel.batch.CellStats` — per-run step counts,
+    converged tally, final-state census — folded inside the workers,
+    instead of a list of per-run summaries. Step counts and seeding are
+    identical; grid-scale sweeps stop allocating and shipping records
+    nobody reads individually.
     """
 
     game: Game
@@ -98,6 +106,7 @@ class RunSpec:
     engine: Any = None
     seed: SeedLike = None
     label: Optional[str] = None
+    stream: bool = False
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -114,6 +123,10 @@ class RunSpec:
             raise ValueError("noisy cells take an engine, not a policy/scheduler")
         if self.kind in ("trajectory", "classes") and self.engine is not None:
             raise ValueError(f"{self.kind} cells take a policy/scheduler, not an engine")
+        if self.stream and self.kind != "trajectory":
+            raise ValueError(
+                f"stream=True applies to trajectory cells only, got kind={self.kind!r}"
+            )
         if self.kind == "classes":
             for role, value in (("policy", self.policy), ("scheduler", self.scheduler)):
                 if value is not None and not isinstance(value, str):
@@ -144,13 +157,16 @@ def run_many(
     executor: str = "auto",
     seed: SeedLike = None,
     max_workers: Optional[int] = None,
-) -> List[List[Any]]:
-    """Execute every cell and return its result list, in cell order.
+) -> List[Any]:
+    """Execute every cell and return its result, in cell order.
 
-    The single batch entry point: callers pick a *semantics* (the
-    cells) and an *executor*; the library guarantees the results are
-    identical across every executor mode, so the choice is purely about
-    speed. See the module docstring for the mode table.
+    A cell's result is a list of per-run records, or a single
+    :class:`~repro.kernel.batch.CellStats` aggregate for
+    ``stream=True`` trajectory cells. The single batch entry point:
+    callers pick a *semantics* (the cells) and an *executor*; the
+    library guarantees the results are identical across every executor
+    mode, so the choice is purely about speed. See the module
+    docstring for the mode table.
     """
     cells = list(cells)
     if executor not in EXECUTORS:
@@ -165,7 +181,7 @@ def run_many(
     recorder = get_recorder()
     observing = recorder.enabled
     logger.debug("run_many: %d cell(s) via executor=%r", len(cells), executor)
-    results: List[Optional[List[Any]]] = [None] * len(cells)
+    results: List[Any] = [None] * len(cells)
     vector_positions: List[int] = []
     with recorder.timer("run_many"):
         for pos, cell in enumerate(cells):
@@ -208,7 +224,7 @@ def run_many(
 
 def _run_trajectory_cell(
     cell: RunSpec, root: np.random.SeedSequence, executor: str, max_workers: Optional[int]
-) -> List[Any]:
+) -> Any:
     from repro.kernel.batch import BatchRunner
 
     with BatchRunner(
@@ -224,6 +240,7 @@ def _run_trajectory_cell(
             scheduler=cell.scheduler,
             seed=root,
             allowed=cell.allowed,
+            stream=cell.stream,
         )
 
 
@@ -291,7 +308,7 @@ def _run_noisy_cell(
 
 def _run_cells_vectorized(
     cells: Sequence[RunSpec], roots: Sequence[np.random.SeedSequence]
-) -> List[List[Any]]:
+) -> List[Any]:
     """All vectorizable trajectory cells through one population call.
 
     Jobs from every cell are concatenated and handed to
@@ -300,8 +317,10 @@ def _run_cells_vectorized(
     lockstep bucket — cross-cell batching no per-cell runner offers.
     Each job still carries its own pre-spawned generator, so the
     summaries are bit-identical to the per-cell serial loops.
+    ``stream=True`` cells fold their slice of outcomes into a
+    :class:`~repro.kernel.batch.CellStats` instead of summary lists.
     """
-    from repro.kernel.batch import TrajectorySummary, build_vector_jobs
+    from repro.kernel.batch import TrajectorySummary, build_vector_jobs, fold_outcomes
     from repro.kernel.tensor import run_trajectory_population
     from repro.learning.policies import RandomImprovingPolicy
     from repro.learning.schedulers import UniformRandomScheduler
@@ -332,7 +351,7 @@ def _run_cells_vectorized(
         "run_many: packed %d cell(s) into one %d-job population", len(cells), len(all_jobs)
     )
     outcomes = run_trajectory_population(all_jobs)
-    results: List[List[Any]] = []
+    results: List[Any] = []
     for cell, (start, stop), kernel in zip(cells, spans, kernels):
         policy_name = (
             cell.policy if cell.policy is not None else RandomImprovingPolicy()
@@ -341,6 +360,11 @@ def _run_cells_vectorized(
             cell.scheduler if cell.scheduler is not None else UniformRandomScheduler()
         ).name
         coin_names = kernel.coin_names
+        if cell.stream:
+            results.append(
+                fold_outcomes(outcomes[start:stop], coin_names, policy_name, scheduler_name)
+            )
+            continue
         results.append(
             [
                 TrajectorySummary(

@@ -1,0 +1,57 @@
+"""The sweep fabric: declarative grids → sharded, cached, merged runs.
+
+The grid layer above :func:`repro.run_many`. A
+:class:`~repro.sweep.grid.SweepGrid` declares an experiment grid as
+axes of :class:`~repro.run.RunSpec` fields; :func:`~repro.sweep.runner.run_sweep`
+executes it with content-addressed determinism:
+
+* every cell gets a **fingerprint** (SHA-256 of its canonical content)
+  that drives append-stable seeding, a coordination-free ``--shard
+  K/N`` partition across processes and hosts, and a
+  **content-addressed result cache** — re-running any overlapping grid
+  is a cache hit (``sweep.cache.hits`` / ``.misses`` on the
+  :mod:`repro.obs` recorder);
+* progress journals to **append-only JSONL shard manifests**, and cache
+  commits are **atomic renames**, so a killed sweep resumes by
+  re-running only its incomplete cells;
+* completed sweeps merge into one deterministic,
+  ``bench.json``-compatible **report** that ``benchmarks/compare.py``
+  diffs — byte-identical whether the sweep ran uninterrupted, was
+  killed and resumed, or ran sharded across hosts.
+
+``measure_convergence`` and the E2/E9/E15 experiment grids route
+through this fabric (see each experiment's ``sweep_grid()``); the CLI
+front end is ``python -m repro sweep``.
+"""
+
+from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
+from repro.sweep.grid import (
+    Labeled,
+    SweepCell,
+    SweepGrid,
+    cell_fingerprint,
+    labeled,
+    parse_shard,
+)
+from repro.sweep.report import REPORT_FORMAT, build_report, cell_entry, result_stats
+from repro.sweep.runner import SweepError, SweepResult, merge_sweep, run_sweep
+
+__all__ = [
+    "Labeled",
+    "REPORT_FORMAT",
+    "ResultCache",
+    "SweepCell",
+    "SweepError",
+    "SweepGrid",
+    "SweepResult",
+    "build_report",
+    "cell_entry",
+    "cell_fingerprint",
+    "labeled",
+    "merge_sweep",
+    "parse_shard",
+    "result_from_dict",
+    "result_stats",
+    "result_to_dict",
+    "run_sweep",
+]

@@ -1,0 +1,136 @@
+"""Merged sweep reports: deterministic, ``bench.json``-compatible.
+
+A report is one JSON document summarizing every cell of a sweep — the
+shape ``benchmarks/compare.py`` already diffs (a ``benchmarks`` list of
+``{"fullname", "stats": {"mean", ...}}`` entries plus a
+``repro_stamp``), so two sweeps can be compared with the same tool and
+the same version-stamp guardrails as benchmark runs.
+
+Determinism is a hard guarantee, not a convenience: the report contains
+*no* wall-clock times, hostnames or timestamps — only per-cell
+statistics of the deterministic result records (steps for trajectory
+and class cells, activations for noisy cells) and content digests. A
+sweep that was killed, resumed on another day, and merged from a
+mixture of cached and fresh shards is therefore byte-identical to an
+uninterrupted run (``tests/test_sweep_resume.py`` asserts exactly
+that). Timings belong to the shard manifests, which are receipts, not
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from typing import Any, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.kernel.batch import CellStats
+from repro.sweep.cache import cell_result_to_records
+from repro.sweep.grid import SweepCell
+
+__all__ = ["REPORT_FORMAT", "build_report", "cell_entry", "result_stats"]
+
+REPORT_FORMAT = "game-of-coins/sweep-report"
+_REPORT_VERSION = 1
+
+
+def _values_of(result: Any) -> List[int]:
+    """The per-run metric of a cell result (steps, or activations)."""
+    if isinstance(result, CellStats):
+        return list(result.steps)
+    values = []
+    for record in result:
+        if hasattr(record, "steps"):
+            values.append(record.steps)
+        else:
+            values.append(record.activations)
+    return values
+
+
+def result_stats(result: Any) -> Dict[str, Any]:
+    """Deterministic summary statistics of one cell result.
+
+    ``mean``/``min``/``max``/``stddev`` over the per-run metric —
+    the field names ``compare.py`` reads from pytest-benchmark
+    ``bench.json`` stats, so merged reports diff with the same tool.
+    """
+    values = _values_of(result)
+    mean = sum(values) / len(values)
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    stats: Dict[str, Any] = {
+        "mean": mean,
+        "min": min(values),
+        "max": max(values),
+        "stddev": variance**0.5,
+        "rounds": len(values),
+    }
+    if isinstance(result, CellStats):
+        stats["converged"] = result.converged
+    return stats
+
+
+def _results_digest(result: Any) -> str:
+    stream, records = cell_result_to_records(result)
+    blob = json.dumps({"stream": stream, "results": records}, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def report_stamp() -> Dict[str, str]:
+    """The version stamp embedded in reports (no host/time fields)."""
+    from repro import __version__
+
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def cell_entry(cell: SweepCell, key: str) -> Dict[str, Any]:
+    """The receipt row for one cell (what ``grid.json`` persists)."""
+    return {
+        "id": cell.cell_id,
+        "fingerprint": cell.fingerprint,
+        "key": key,
+        "kind": cell.spec.kind,
+        "stream": cell.spec.stream,
+        "runs": cell.spec.runs,
+    }
+
+
+def build_report(
+    entries: Sequence[Mapping[str, Any]],
+    results: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Fold per-cell results into one deterministic report document.
+
+    ``entries`` are :func:`cell_entry` rows (live cells or rows read
+    back from a ``grid.json`` receipt — merging needs no specs);
+    ``results`` maps cell ids to cell results. Every entry must be
+    present in ``results`` — merging an incomplete sweep is an error
+    surfaced by the caller with the missing ids.
+    """
+    benchmarks = []
+    for entry in entries:
+        result = results[entry["id"]]
+        benchmarks.append(
+            {
+                "fullname": f"sweep::{entry['id']}",
+                "stats": result_stats(result),
+                "cell": entry["fingerprint"],
+                "key": entry["key"],
+                "kind": entry["kind"],
+                "runs": entry["runs"],
+                "results_digest": _results_digest(result),
+            }
+        )
+    return {
+        "format": REPORT_FORMAT,
+        "version": _REPORT_VERSION,
+        "units": "steps",
+        "cells": len(benchmarks),
+        "benchmarks": benchmarks,
+        "repro_stamp": report_stamp(),
+    }

@@ -100,3 +100,71 @@ class TestMigrate:
 def test_no_command_exits():
     with pytest.raises(SystemExit):
         _run([])
+
+
+class TestSweep:
+    def test_ephemeral_sweep(self):
+        code, text = _run(["sweep", "E9", "--fast", "--seed", "5"])
+        assert code == 0
+        assert "20 cell(s)" in text
+        assert "0 cached, 20 computed" in text
+
+    def test_cold_then_warm_with_out(self, tmp_path):
+        out = str(tmp_path / "sweep")
+        code, text = _run(["sweep", "E9", "--fast", "--seed", "5", "--out", out])
+        assert code == 0
+        assert "0 cached, 20 computed" in text
+        assert "report:" in text
+        code, text = _run(["sweep", "E9", "--fast", "--seed", "5", "--out", out])
+        assert code == 0
+        assert "20 cached, 0 computed" in text
+
+    def test_sharded_then_merge(self, tmp_path):
+        out = str(tmp_path / "sweep")
+        for k in (1, 2):
+            code, text = _run([
+                "sweep", "E15", "--fast", "--seed", "7",
+                "--out", out, "--shard", f"{k}/2",
+            ])
+            assert code == 0
+        code, text = _run(["sweep", "E15", "--fast", "--seed", "7", "--out", out, "--merge"])
+        assert code == 0
+        assert "merged 3 cell(s)" in text
+
+    def test_merge_requires_out(self):
+        code, text = _run(["sweep", "E9", "--merge"])
+        assert code == 2
+        assert "--merge requires --out" in text
+
+    def test_experiment_without_grid_rejected(self):
+        code, text = _run(["sweep", "E1"])
+        assert code == 2
+        assert "no sweep grid" in text
+        assert "E2" in text
+
+    def test_root_seed_mismatch_is_an_error(self, tmp_path):
+        out = str(tmp_path / "sweep")
+        assert _run(["sweep", "E9", "--fast", "--seed", "5", "--out", out])[0] == 0
+        code, text = _run(["sweep", "E9", "--fast", "--seed", "6", "--out", out])
+        assert code == 1
+        assert "root seed" in text
+
+    def test_metrics_prints_cache_counters(self, tmp_path):
+        out = str(tmp_path / "sweep")
+        assert _run(["sweep", "E9", "--fast", "--seed", "5", "--out", out])[0] == 0
+        code, text = _run([
+            "sweep", "E9", "--fast", "--seed", "5", "--out", out, "--metrics"
+        ])
+        assert code == 0
+        assert "sweep.cache.hits" in text
+
+
+class TestTraceForce:
+    def test_trace_refuses_clobber_without_force(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert _run(["run", "E3", "--fast", "--trace", trace])[0] == 0
+        code, text = _run(["run", "E3", "--fast", "--trace", trace])
+        assert code == 2
+        assert "already exists" in text
+        code, _ = _run(["run", "E3", "--fast", "--trace", trace, "--force"])
+        assert code == 0

@@ -164,3 +164,60 @@ class TestTrajectoryRoundTrip:
         payload["miner_order"][0] = "nobody"
         with pytest.raises(InvalidModelError, match="nobody"):
             trajectory_from_dict(payload, game)
+
+
+class TestAtomicWrites:
+    def test_returns_path_and_writes_trailing_newline(self, tmp_path):
+        from repro.io import write_json_atomic
+
+        path = str(tmp_path / "doc.json")
+        assert write_json_atomic({"a": 1}, path) == path
+        with open(path) as handle:
+            text = handle.read()
+        assert text.endswith("\n")
+        assert __import__("json").loads(text) == {"a": 1}
+
+    def test_overwrites_in_place(self, tmp_path):
+        from repro.io import write_json_atomic
+
+        path = str(tmp_path / "doc.json")
+        write_json_atomic({"v": 1}, path)
+        write_json_atomic({"v": 2}, path)
+        with open(path) as handle:
+            assert __import__("json").load(handle) == {"v": 2}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        from repro.io import write_json_atomic
+
+        path = str(tmp_path / "doc.json")
+        write_json_atomic({"ok": True}, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+    def test_failed_serialization_leaves_old_file_intact(self, tmp_path):
+        from repro.io import write_json_atomic
+
+        path = str(tmp_path / "doc.json")
+        write_json_atomic({"v": 1}, path)
+        with pytest.raises(TypeError):
+            write_json_atomic({"v": object()}, path)
+        with open(path) as handle:
+            assert __import__("json").load(handle) == {"v": 1}
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+    def test_save_helpers_route_through_atomic_writes(self, tmp_path, monkeypatch):
+        import repro.io as io_module
+
+        calls = []
+        original = io_module.write_json_atomic
+
+        def spy(payload, path, **kwargs):
+            calls.append(path)
+            return original(payload, path, **kwargs)
+
+        monkeypatch.setattr(io_module, "write_json_atomic", spy)
+        game = random_game(4, 2, seed=6)
+        save_game(game, str(tmp_path / "game.json"))
+        save_configuration(
+            random_configuration(game, seed=7), str(tmp_path / "config.json")
+        )
+        assert len(calls) == 2

@@ -562,3 +562,30 @@ class TestBenchTooling:
         )
         assert skipped.returncode == 0
         assert "skipping" in skipped.stdout
+
+
+class TestClobberGuards:
+    def test_trace_writer_refuses_existing_path(self, tmp_path):
+        from repro.obs import TraceWriter
+
+        path = str(tmp_path / "trace.jsonl")
+        TraceWriter(path).close()
+        with pytest.raises(FileExistsError, match="already exists"):
+            TraceWriter(path)
+        writer = TraceWriter(path, force=True)
+        writer.close()
+        assert writer.records >= 1
+
+    def test_manifest_refuses_existing_path_with_force_false(self, tmp_path):
+        from repro.obs import MetricsRecorder, RunManifest
+
+        manifest = RunManifest.from_recorder(
+            MetricsRecorder(), command="test", args={}, seed=0,
+            executor="serial", wall_seconds=0.0,
+        )
+        path = str(tmp_path / "run.manifest.json")
+        manifest.write(path, force=False)
+        with pytest.raises(FileExistsError, match="already exists"):
+            manifest.write(path, force=False)
+        # Library default stays permissive (force=True).
+        manifest.write(path)

@@ -113,3 +113,45 @@ class TestPriceImpact:
         model = PriceImpactModel(depth=Fraction(10))
         assert exchange_cost_of_phase(10, 20, 4, model) == 40
         assert exchange_cost_of_phase(10, 10, 4, model) == 0
+
+
+class TestExactScaleConversion:
+    """Regression: scales used to pass through ``limit_denominator(10**6)``,
+    which silently rounded sub-microscale rationals — ``1/10**7`` became
+    0 and the whole fee budget vanished. Conversion is now exact."""
+
+    def _ledger(self):
+        ledger = CostLedger()
+        ledger.add(
+            PhaseCost(stage=1, iteration=1, excess_per_round=Fraction(5), rounds=2)
+        )
+        return ledger
+
+    def test_tiny_fraction_scale_survives_exactly(self):
+        budget = budget_from_ledger(self._ledger(), rounds_per_block=Fraction(1, 10**7))
+        assert budget.fee_spend == Fraction(10, 10**7)  # old code pinned this to 0
+
+    def test_float_scale_converts_to_exact_dyadic(self):
+        budget = budget_from_ledger(self._ledger(), rounds_per_block=0.1)
+        # Fraction(0.1) is the float's exact binary value, not 1/10:
+        # no denominator cap, no silent rounding.
+        assert budget.fee_spend == 10 * Fraction(0.1)
+        # Exact dyadic: a power-of-two denominator far past the old
+        # 10**6 cap, not a "nice" capped approximation.
+        denominator = budget.fee_spend.denominator
+        assert denominator > 10**6
+        assert denominator & (denominator - 1) == 0
+
+    def test_tiny_float_scale_is_nonzero(self):
+        budget = budget_from_ledger(self._ledger(), rounds_per_block=1e-7)
+        assert budget.fee_spend == 10 * Fraction(1e-7)
+        assert budget.fee_spend > 0
+
+    def test_price_impact_depth_is_exact(self):
+        from repro._numeric import to_fraction
+
+        # The E8 market-depth knob goes through the same exact path.
+        model = PriceImpactModel(depth=to_fraction(50.5, name="market_depth"))
+        assert model.depth == Fraction(101, 2)
+        deep = PriceImpactModel(depth=to_fraction(Fraction(10**9, 7), name="market_depth"))
+        assert deep.depth == Fraction(10**9, 7)
